@@ -1,0 +1,125 @@
+// Command benchrun regenerates the paper's tables and figures against the
+// synthetic environment. See DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	benchrun -experiment all            # every table and figure
+//	benchrun -experiment table2         # main results only
+//	benchrun -experiment fig2 -quick    # fast, smaller environment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: table1|fig2|table2|table3|table4|table5|sweeps|all")
+	quick := flag.Bool("quick", false, "use the small test-scale environment")
+	seed := flag.Int64("seed", 42, "world/model seed")
+	workers := flag.Int("workers", 8, "evaluation parallelism")
+	csvPath := flag.String("csv", "", "also write a machine-readable CSV of every Table II cell to this path")
+	flag.Parse()
+
+	if err := run(*experiment, *quick, *seed, *workers, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, quick bool, seed int64, workers int, csvPath string) error {
+	cfg := bench.DefaultEnvConfig()
+	if quick {
+		cfg = bench.QuickEnvConfig()
+	}
+	cfg.WorldSeed = seed
+	cfg.Workers = workers
+
+	start := time.Now()
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("environment ready in %v: %s\n", time.Since(start).Round(time.Millisecond), env.World.Stats())
+	for src, st := range env.Stores {
+		fmt.Printf("  KG[%s]: %s\n", src, st.Stats())
+	}
+	fmt.Print(env.Suite.Describe())
+	fmt.Println()
+
+	out := os.Stdout
+	runOne := func(name string) error {
+		t := time.Now()
+		var err error
+		switch name {
+		case "table1":
+			bench.Table1(out)
+		case "fig2":
+			_, err = bench.Fig2(env, out)
+		case "table2":
+			err = bench.Table2(env, out)
+		case "table3":
+			err = bench.Table3(env, out)
+		case "table4":
+			err = bench.Table4(env, out)
+		case "table5":
+			err = bench.Table5(env, out)
+		case "sweeps":
+			err = bench.Sweeps(env, out)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t).Round(time.Millisecond))
+		return nil
+	}
+
+	if experiment == "all" {
+		for _, name := range []string{"table1", "fig2", "table2", "table3", "table4", "table5"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+	} else if err := runOne(experiment); err != nil {
+		return err
+	}
+
+	if csvPath != "" {
+		if err := writeCSVReport(env, csvPath); err != nil {
+			return err
+		}
+		fmt.Println("CSV report written to", csvPath)
+	}
+	return nil
+}
+
+// writeCSVReport re-runs every Table II cell through the Report collector
+// (cells are cheap; the environment is already warm) and writes CSV.
+func writeCSVReport(env *bench.Env, path string) error {
+	r := &bench.Report{Title: "table2"}
+	for _, model := range []string{bench.ModelGPT35, bench.ModelGPT4} {
+		for _, method := range []string{bench.MethodToG, bench.MethodIO, bench.MethodCoT, bench.MethodSC, bench.MethodRAG, bench.MethodOurs} {
+			for _, ds := range []string{"SimpleQuestions", "QALD", "NatureQuestions"} {
+				if method == bench.MethodToG && ds == "NatureQuestions" {
+					continue
+				}
+				if err := r.Collect(env, method, model, ds); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}

@@ -1,0 +1,125 @@
+// Command cyphersh is an interactive Cypher shell over the synthetic
+// world's property graph — the Neo4j-substitute demo. It supports the
+// engine's MATCH ... RETURN subset plus CREATE for scratch additions.
+//
+//	$ go run ./cmd/cyphersh
+//	cypher> MATCH (p:Person) RETURN p.name
+//	cypher> MATCH (m:MountainRange)-[:COVERS]->(c:Country) RETURN m.name, c.name
+//	cypher> CREATE (me:Person {name: 'Visitor'})
+//
+// Pipe queries on stdin for non-interactive use:
+//
+//	echo "MATCH (l:Lake) RETURN l.name, l.area" | go run ./cmd/cyphersh
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cypher"
+	"repro/internal/propgraph"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "world seed")
+	small := flag.Bool("quick", true, "use a small world")
+	limit := flag.Int("limit", 25, "max rows printed per query")
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.Seed = *seed
+	if *small {
+		cfg.People, cfg.Cities, cfg.Countries = 150, 60, 20
+		cfg.Works, cfg.Companies, cfg.Universities = 100, 40, 25
+	}
+	w, err := world.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyphersh:", err)
+		os.Exit(1)
+	}
+	g := world.BuildPropGraph(w)
+	fmt.Printf("loaded %d nodes, %d relationships (labels: Person, City, Country, Lake, MountainRange, ...)\n",
+		g.NodeCount(), g.RelCount())
+	fmt.Println(`type Cypher queries; "quit" to exit`)
+
+	repl(g, *limit)
+}
+
+func repl(g *propgraph.Graph, limit int) {
+	ex := executorOver(g)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for {
+		fmt.Print("cypher> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch strings.ToLower(line) {
+		case "":
+			continue
+		case "quit", "exit", ":q":
+			return
+		}
+		script, err := cypher.Parse(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		for _, st := range script.Statements {
+			switch st := st.(type) {
+			case *cypher.MatchStmt:
+				rows, err := ex.Query(st)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				shown := rows
+				if len(shown) > limit {
+					shown = shown[:limit]
+				}
+				for _, row := range shown {
+					fmt.Println("  " + strings.Join(row.Values, " | "))
+				}
+				if len(rows) > limit {
+					fmt.Printf("  ... %d more rows (raise -limit)\n", len(rows)-limit)
+				}
+				fmt.Printf("(%d rows)\n", len(rows))
+			case *cypher.CreateStmt:
+				before := ex.Graph().NodeCount()
+				if err := ex.Run(&cypher.Script{Statements: []cypher.Statement{st}}); err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("created %d node(s)\n", ex.Graph().NodeCount()-before)
+			}
+		}
+	}
+}
+
+// executorOver wraps an existing property graph in an executor so MATCH
+// sees the world's nodes. The cypher executor builds its own graph, so we
+// replay the world graph into it via direct construction.
+func executorOver(g *propgraph.Graph) *cypher.Executor {
+	ex := cypher.NewExecutor()
+	target := ex.Graph()
+	for _, n := range g.Nodes() {
+		props := make(map[string]propgraph.Value, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		target.CreateNode(n.Labels, props)
+	}
+	for _, r := range g.Rels() {
+		if _, err := target.CreateRel(r.From, r.To, r.Type, nil); err != nil {
+			// Cannot happen: IDs are dense and types non-empty.
+			panic(err)
+		}
+	}
+	return ex
+}

@@ -1,0 +1,151 @@
+// Command pgakv answers a single question with the full PG&AKV pipeline
+// and prints the intermediate artefacts (pseudo-graph, retrieved subjects,
+// gold graph, fixed graph), which is the quickest way to see the method's
+// anatomy on a concrete input.
+//
+// Usage:
+//
+//	pgakv -q "Where was <person> born?" [-kg wikidata|freebase] [-model gpt4]
+//	pgakv -list 5            # print 5 sample questions to try
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/kg"
+)
+
+func main() {
+	question := flag.String("q", "", "question to answer")
+	kgSource := flag.String("kg", "wikidata", "KG source: wikidata|freebase")
+	model := flag.String("model", "gpt3.5", "model grade: gpt3.5|gpt4")
+	list := flag.Int("list", 0, "print N sample questions from each dataset and exit")
+	quick := flag.Bool("quick", true, "use the small environment (fast startup)")
+	asJSON := flag.Bool("json", false, "emit the trace as JSON instead of text")
+	flag.Parse()
+
+	if err := run(*question, *kgSource, *model, *list, *quick, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "pgakv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(question, kgSource, model string, list int, quick, asJSON bool) error {
+	cfg := bench.DefaultEnvConfig()
+	if quick {
+		cfg = bench.QuickEnvConfig()
+	}
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+
+	if list > 0 {
+		for _, ds := range env.Suite.Datasets() {
+			fmt.Printf("%s:\n", ds.Name)
+			n := list
+			if n > len(ds.Questions) {
+				n = len(ds.Questions)
+			}
+			for _, q := range ds.Questions[:n] {
+				fmt.Printf("  %s\n", q.Text)
+			}
+		}
+		return nil
+	}
+	if question == "" {
+		return fmt.Errorf("provide -q \"question\" (or -list N for samples)")
+	}
+
+	src, err := kg.ParseSource(kgSource)
+	if err != nil {
+		return err
+	}
+	modelName := bench.ModelGPT35
+	if model == "gpt4" || model == "gpt-4" {
+		modelName = bench.ModelGPT4
+	}
+	p, err := env.Pipeline(modelName, src)
+	if err != nil {
+		return err
+	}
+	res, err := p.Answer(question)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return writeTraceJSON(os.Stdout, question, modelName, src.String(), res)
+	}
+
+	tr := res.Trace
+	fmt.Printf("question: %s\nmodel: %s   kg: %s\n\n", question, modelName, src)
+	fmt.Println("--- step 1: pseudo-graph (Gp) ---")
+	if tr.PseudoErr != nil {
+		fmt.Printf("cypher decode failed: %v\n", tr.PseudoErr)
+	}
+	fmt.Println(tr.Gp)
+	fmt.Println("\n--- steps 2-3: pruned subjects ---")
+	for _, sc := range tr.Kept {
+		fmt.Printf("  %-30s confidence=%.3f triples=%d\n", sc.Subject, sc.Confidence, sc.Triples)
+	}
+	fmt.Println("\n--- gold graph (Gg) ---")
+	fmt.Println(tr.Gg)
+	fmt.Println("\n--- step 4: fixed graph (Gf) ---")
+	fmt.Println(tr.Gf)
+	fmt.Println("\n--- step 5: answer ---")
+	fmt.Println(res.Answer)
+	fmt.Printf("\n(LLM calls: %d)\n", tr.LLMCalls)
+	return nil
+}
+
+// traceJSON is the machine-readable form of one pipeline run.
+type traceJSON struct {
+	Question  string     `json:"question"`
+	Model     string     `json:"model"`
+	KG        string     `json:"kg"`
+	Answer    string     `json:"answer"`
+	Gp        []string   `json:"gp"`
+	Kept      []keptJSON `json:"kept_subjects"`
+	Gg        []string   `json:"gg"`
+	Gf        []string   `json:"gf"`
+	LLMCalls  int        `json:"llm_calls"`
+	PseudoErr string     `json:"pseudo_error,omitempty"`
+}
+
+type keptJSON struct {
+	Subject    string  `json:"subject"`
+	Confidence float64 `json:"confidence"`
+	Triples    int     `json:"triples"`
+}
+
+func writeTraceJSON(w io.Writer, question, model, src string, res core.Result) error {
+	tr := res.Trace
+	doc := traceJSON{
+		Question: question, Model: model, KG: src,
+		Answer: res.Answer, LLMCalls: tr.LLMCalls,
+	}
+	for _, t := range tr.Gp.Triples {
+		doc.Gp = append(doc.Gp, t.String())
+	}
+	for _, t := range tr.Gg.Triples {
+		doc.Gg = append(doc.Gg, t.String())
+	}
+	for _, t := range tr.Gf.Triples {
+		doc.Gf = append(doc.Gf, t.String())
+	}
+	for _, sc := range tr.Kept {
+		doc.Kept = append(doc.Kept, keptJSON{sc.Subject, sc.Confidence, sc.Triples})
+	}
+	if tr.PseudoErr != nil {
+		doc.PseudoErr = tr.PseudoErr.Error()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,59 @@
+// Multi-source generalisation: the same questions answered against the
+// Wikidata-flavoured and Freebase-flavoured KGs (same facts, different
+// schemas) — the paper's Table III. The pseudo-triples are always written
+// in the model's own vocabulary; the atomic semantic query is what bridges
+// the schema gap.
+//
+//	go run ./examples/multisource
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/kg"
+	"repro/internal/metrics"
+)
+
+func main() {
+	env, err := bench.NewEnv(bench.QuickEnvConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the same fact rendered in both schemas.
+	person := env.World.Entities[env.World.OfKind(0)[0]] // KindPerson == 0
+	fmt.Println("one fact, two schemas:")
+	for _, src := range []kg.Source{kg.SourceWikidata, kg.SourceFreebase} {
+		st := env.Stores[src]
+		if canonical, ok := st.FindSubjectFold(person.Name); ok {
+			for _, tr := range st.Subject(canonical)[:1] {
+				fmt.Printf("  %-9s %s\n", src.String()+":", tr)
+			}
+		}
+	}
+	fmt.Println()
+
+	questions := env.Suite.Simple.Questions[:8]
+	for _, src := range []kg.Source{kg.SourceFreebase, kg.SourceWikidata} {
+		pipeline, err := env.Pipeline(bench.ModelGPT35, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		right := 0
+		for _, q := range questions {
+			res, err := pipeline.Answer(q.Text)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if metrics.Hit1(res.Answer, q.Golds) > 0 {
+				right++
+			}
+		}
+		fmt.Printf("PG&AKV over %-9s KG: %d/%d SimpleQuestions correct\n",
+			src, right, len(questions))
+	}
+	fmt.Println("\n(The questions are Freebase-sourced; the method still works against")
+	fmt.Println(" the Wikidata schema because querying and verification are atomic.)")
+}

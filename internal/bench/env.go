@@ -1,0 +1,264 @@
+// Package bench is the experiment harness: it assembles the full
+// environment (world, KG stores in both schemas, vector indexes, simulated
+// models, datasets) and regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index).
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/qa"
+	"repro/internal/vecstore"
+	"repro/internal/world"
+)
+
+// Model identifiers used throughout the harness.
+const (
+	ModelGPT35 = "GPT-3.5"
+	ModelGPT4  = "GPT-4"
+)
+
+// Method identifiers.
+const (
+	MethodToG    = "ToG"
+	MethodIO     = "IO"
+	MethodCoT    = "CoT"
+	MethodSC     = "SC"
+	MethodRAG    = "RAG"
+	MethodOurs   = "Ours"
+	MethodOursGp = "Ours-Gp" // ablation: answer from the raw pseudo-graph
+)
+
+// EnvConfig sizes the environment.
+type EnvConfig struct {
+	WorldSeed int64
+	World     world.Config
+	Data      datasets.Config
+	Core      core.Config
+	// Workers is the per-cell evaluation parallelism.
+	Workers int
+}
+
+// DefaultEnvConfig returns the paper-scale environment.
+func DefaultEnvConfig() EnvConfig {
+	return EnvConfig{
+		WorldSeed: 42,
+		World:     world.DefaultConfig(),
+		Data:      datasets.DefaultConfig(),
+		Core:      core.DefaultConfig(),
+		Workers:   8,
+	}
+}
+
+// QuickEnvConfig returns a small environment for unit tests.
+func QuickEnvConfig() EnvConfig {
+	wc := world.DefaultConfig()
+	wc.People = 150
+	wc.Cities = 60
+	wc.Works = 100
+	wc.Companies = 40
+	wc.Universities = 25
+	cfg := DefaultEnvConfig()
+	cfg.World = wc
+	cfg.Data = datasets.Config{Seed: 7, SimpleN: 60, QALDN: 40, NatureN: 20}
+	return cfg
+}
+
+// Env is the assembled experiment environment.
+type Env struct {
+	Cfg     EnvConfig
+	World   *world.World
+	Suite   *datasets.Suite
+	Enc     *embed.Encoder
+	Stores  map[kg.Source]*kg.Store
+	Indexes map[kg.Source]*vecstore.Index
+	Models  map[string]*llm.SimLM
+
+	pipeMu    sync.Mutex
+	pipelines map[string]*core.Pipeline
+}
+
+// NewEnv builds the environment deterministically.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	cfg.World.Seed = cfg.WorldSeed
+	w, err := world.Generate(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("bench: world: %w", err)
+	}
+	suite, err := datasets.Build(w, cfg.Data)
+	if err != nil {
+		return nil, fmt.Errorf("bench: datasets: %w", err)
+	}
+	enc := embed.NewEncoder()
+	stores := map[kg.Source]*kg.Store{
+		kg.SourceWikidata: world.WikidataSchema().Render(w),
+		kg.SourceFreebase: world.FreebaseSchema().Render(w),
+	}
+	indexes := map[kg.Source]*vecstore.Index{}
+	for src, st := range stores {
+		indexes[src] = vecstore.Build(enc, st)
+	}
+	models := map[string]*llm.SimLM{
+		ModelGPT35: llm.NewSim(w, llm.GPT35Params(), cfg.WorldSeed),
+		ModelGPT4:  llm.NewSim(w, llm.GPT4Params(), cfg.WorldSeed),
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	return &Env{
+		Cfg:       cfg,
+		World:     w,
+		Suite:     suite,
+		Enc:       enc,
+		Stores:    stores,
+		Indexes:   indexes,
+		Models:    models,
+		pipelines: map[string]*core.Pipeline{},
+	}, nil
+}
+
+// Pipeline returns (building on demand) the PG&AKV pipeline for a model
+// and KG source.
+func (e *Env) Pipeline(model string, src kg.Source) (*core.Pipeline, error) {
+	key := model + "/" + src.String()
+	e.pipeMu.Lock()
+	defer e.pipeMu.Unlock()
+	if p, ok := e.pipelines[key]; ok {
+		return p, nil
+	}
+	m, ok := e.Models[model]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown model %q", model)
+	}
+	p, err := core.New(m, e.Stores[src], e.Indexes[src], e.Cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	e.pipelines[key] = p
+	return p, nil
+}
+
+// Cell is one (method, model, dataset, source) evaluation result.
+type Cell struct {
+	Method  string
+	Model   string
+	Dataset string
+	Source  kg.Source
+	// Score is Hit@1 or ROUGE-L-f1 as a percentage.
+	Score float64
+	N     int
+}
+
+// answerOne produces one method's answer for one question.
+func (e *Env) answerOne(method, model string, q qa.Question, src kg.Source) (string, error) {
+	m := e.Models[model]
+	switch method {
+	case MethodIO:
+		return baselines.IO(m, q.Text)
+	case MethodCoT:
+		return baselines.CoT(m, q.Text)
+	case MethodSC:
+		return baselines.SC(m, q.Text, q.Open(), baselines.DefaultSCConfig())
+	case MethodRAG:
+		return baselines.RAG(m, e.Indexes[src], q.Text, baselines.DefaultRAGConfig())
+	case MethodToG:
+		anchors := []string{q.Intent.Subject}
+		if q.Intent.Subject2 != "" {
+			anchors = append(anchors, q.Intent.Subject2)
+		}
+		return baselines.ToG(m, e.Stores[src], e.Enc, q.Text, anchors, baselines.DefaultToGConfig())
+	case MethodOurs:
+		p, err := e.Pipeline(model, src)
+		if err != nil {
+			return "", err
+		}
+		res, err := p.Answer(q.Text)
+		if err != nil {
+			return "", err
+		}
+		return res.Answer, nil
+	case MethodOursGp:
+		p, err := e.Pipeline(model, src)
+		if err != nil {
+			return "", err
+		}
+		gp, err := p.GeneratePseudoGraph(q.Text, nil)
+		if err != nil {
+			return "", err
+		}
+		return p.AnswerFromGraph(q.Text, gp, nil)
+	default:
+		return "", fmt.Errorf("bench: unknown method %q", method)
+	}
+}
+
+// score evaluates one answer against the question's gold material.
+func score(q qa.Question, answer string) float64 {
+	if q.Open() {
+		return metrics.RougeLMulti(answer, q.Refs)
+	}
+	return metrics.Hit1(answer, q.Golds)
+}
+
+// Run evaluates a method×model over a dataset against the given KG source
+// and returns the aggregate cell.
+func (e *Env) Run(method, model string, ds *qa.Dataset, src kg.Source) (Cell, error) {
+	type job struct {
+		i int
+		q qa.Question
+	}
+	scores := make([]float64, len(ds.Questions))
+	errs := make([]error, len(ds.Questions))
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < e.Cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				ans, err := e.answerOne(method, model, j.q, src)
+				if err != nil {
+					errs[j.i] = err
+					continue
+				}
+				scores[j.i] = score(j.q, ans)
+			}
+		}()
+	}
+	for i, q := range ds.Questions {
+		jobs <- job{i, q}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Cell{}, fmt.Errorf("bench: %s/%s on %s: %w", method, model, ds.Name, err)
+		}
+	}
+	return Cell{
+		Method:  method,
+		Model:   model,
+		Dataset: ds.Name,
+		Source:  src,
+		Score:   metrics.Mean(scores) * 100,
+		N:       len(scores),
+	}, nil
+}
+
+// DefaultSource returns the KG source a dataset is evaluated against by
+// default: SimpleQuestions is Freebase-based in the paper, the others use
+// Wikidata.
+func DefaultSource(datasetName string) kg.Source {
+	if datasetName == "SimpleQuestions" {
+		return kg.SourceFreebase
+	}
+	return kg.SourceWikidata
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTablePrinters runs each experiment printer on the tiny environment
+// and asserts the output is well-formed (headers, paper references, and
+// per-row numbers present).
+func TestTablePrinters(t *testing.T) {
+	env := tinyEnv(t)
+
+	t.Run("table2", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := Table2(env, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{"Table II", "GPT-3.5", "GPT-4", "Ours", "paper"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("table2 output lacks %q", want)
+			}
+		}
+		// Eleven method rows (ToG skips Nature but still has a row).
+		if rows := strings.Count(out, "paper"); rows < 12 {
+			t.Errorf("table2 shows %d paper references, want many", rows)
+		}
+	})
+
+	t.Run("table3", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := Table3(env, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{"Table III", "Ours/freebase", "Ours/wikidata", "gain vs CoT"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("table3 output lacks %q", want)
+			}
+		}
+	})
+
+	t.Run("table4and5", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := Table4(env, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "w/ Gp") || !strings.Contains(buf.String(), "w/ Gf") {
+			t.Errorf("table4 output malformed:\n%s", buf.String())
+		}
+		buf.Reset()
+		if err := Table5(env, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "Table V") {
+			t.Errorf("table5 output malformed:\n%s", buf.String())
+		}
+	})
+}
+
+func TestSweepsPrinter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps rebuild the environment repeatedly")
+	}
+	env := tinyEnv(t)
+	var buf bytes.Buffer
+	if err := Sweeps(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"confidence threshold", "retrieval depth", "pruning strategy",
+		"verification context order", "paper setting",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweeps output lacks %q", want)
+		}
+	}
+	if strings.Count(out, "paper setting") != 4 {
+		t.Errorf("sweeps should mark 4 paper settings:\n%s", out)
+	}
+}

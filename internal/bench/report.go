@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/kg"
+)
+
+// Report accumulates evaluation cells with timing, for machine-readable
+// experiment logs (CSV/JSON) alongside the human-readable tables.
+type Report struct {
+	// Title labels the report (e.g. "table2").
+	Title string
+	// Cells are the collected results, in run order.
+	Cells []TimedCell
+}
+
+// TimedCell is a Cell plus wall-clock duration.
+type TimedCell struct {
+	Cell
+	Elapsed time.Duration
+}
+
+// Collect runs one cell and records it with timing.
+func (r *Report) Collect(e *Env, method, model string, dsName string, srcOverride ...string) error {
+	var ds = e.Suite.Simple
+	switch dsName {
+	case "QALD":
+		ds = e.Suite.QALD
+	case "NatureQuestions":
+		ds = e.Suite.Nature
+	case "SimpleQuestions":
+		ds = e.Suite.Simple
+	default:
+		return fmt.Errorf("bench: unknown dataset %q", dsName)
+	}
+	src := DefaultSource(ds.Name)
+	if len(srcOverride) > 0 {
+		parsed, err := kg.ParseSource(srcOverride[0])
+		if err != nil {
+			return err
+		}
+		src = parsed
+	}
+	start := time.Now()
+	cell, err := e.Run(method, model, ds, src)
+	if err != nil {
+		return err
+	}
+	r.Cells = append(r.Cells, TimedCell{Cell: cell, Elapsed: time.Since(start)})
+	return nil
+}
+
+// WriteCSV emits the report as CSV with a header row.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "model", "dataset", "kg_source", "score", "n", "elapsed_ms"}); err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			c.Method, c.Model, c.Dataset, c.Source.String(),
+			strconv.FormatFloat(c.Score, 'f', 2, 64),
+			strconv.Itoa(c.N),
+			strconv.FormatInt(c.Elapsed.Milliseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// reportJSON is the JSON wire form.
+type reportJSON struct {
+	Title string     `json:"title"`
+	Cells []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Method    string  `json:"method"`
+	Model     string  `json:"model"`
+	Dataset   string  `json:"dataset"`
+	Source    string  `json:"kg_source"`
+	Score     float64 `json:"score"`
+	N         int     `json:"n"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+}
+
+// WriteJSON emits the report as a JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	doc := reportJSON{Title: r.Title}
+	for _, c := range r.Cells {
+		doc.Cells = append(doc.Cells, cellJSON{
+			Method: c.Method, Model: c.Model, Dataset: c.Dataset,
+			Source: c.Source.String(), Score: c.Score, N: c.N,
+			ElapsedMS: c.Elapsed.Milliseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("bench: json: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kg"
+	"repro/internal/llm"
+	"repro/internal/prompts"
+)
+
+// RefineConfig controls the iterative extension of the pipeline — the
+// "dedicated Pseudo-Graph Verification module" direction the paper lists
+// as future work. When a round's fixed graph gives the verification no
+// gold evidence to work with (Gg came back empty, so Gf is just Gp), the
+// refiner re-generates the pseudo-graph at a different sampling nonce and
+// tries again: a different phrasing of the knowledge frame often retrieves
+// what the first one missed.
+type RefineConfig struct {
+	// MaxRounds bounds the number of pseudo-graph generations (>= 1).
+	MaxRounds int
+	// Temperature applies to the retry generations (the first round stays
+	// greedy); a little sampling diversity is the point of retrying.
+	Temperature float64
+}
+
+// DefaultRefineConfig enables one retry round.
+func DefaultRefineConfig() RefineConfig {
+	return RefineConfig{MaxRounds: 2, Temperature: 0.7}
+}
+
+// RefineResult reports the outcome of an iterative run.
+type RefineResult struct {
+	Result
+	// Rounds is how many pseudo-graph generations were used.
+	Rounds int
+	// Grounded reports whether the final answer was backed by a non-empty
+	// gold graph.
+	Grounded bool
+}
+
+// AnswerRefined runs the pipeline with up to cfg.MaxRounds pseudo-graph
+// attempts, keeping the first grounded round. If no round grounds, the
+// last round's result is returned (graceful degradation, as in Answer).
+func (p *Pipeline) AnswerRefined(question string, cfg RefineConfig) (RefineResult, error) {
+	if cfg.MaxRounds < 1 {
+		cfg.MaxRounds = 1
+	}
+	var last RefineResult
+	for round := 0; round < cfg.MaxRounds; round++ {
+		var tr Trace
+		tr.Question = question
+
+		gp, err := p.generatePseudoGraphAt(question, round, cfg.Temperature, &tr)
+		if err != nil {
+			return RefineResult{}, err
+		}
+		tr.Gp = gp
+		gg := p.QueryAndPrune(gp, &tr)
+		tr.Gg = gg
+		gf, err := p.Verify(question, gp, gg, &tr)
+		if err != nil {
+			return RefineResult{}, err
+		}
+		tr.Gf = gf
+		answer, err := p.AnswerFromGraph(question, gf, &tr)
+		if err != nil {
+			return RefineResult{}, err
+		}
+		last = RefineResult{
+			Result:   Result{Answer: answer, Trace: tr},
+			Rounds:   round + 1,
+			Grounded: gg.Len() > 0,
+		}
+		if last.Grounded {
+			return last, nil
+		}
+	}
+	return last, nil
+}
+
+// generatePseudoGraphAt is GeneratePseudoGraph with an explicit sampling
+// nonce and temperature: round 0 is greedy (identical to the plain
+// pipeline); later rounds sample.
+func (p *Pipeline) generatePseudoGraphAt(question string, nonce int, temperature float64, tr *Trace) (*kg.Graph, error) {
+	temp := p.cfg.Temperature
+	if nonce > 0 {
+		temp = temperature
+	}
+	resp, err := p.client.Complete(llm.Request{
+		Prompt:      prompts.PseudoGraph(question),
+		Temperature: temp,
+		Nonce:       nonce,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: pseudo-graph generation (round %d): %w", nonce, err)
+	}
+	if tr != nil {
+		tr.PseudoRaw = resp.Text
+		tr.LLMCalls++
+	}
+	code := ExtractCypher(resp.Text)
+	if tr != nil {
+		tr.PseudoCode = code
+	}
+	gp, derr := decodeOrEmpty(code, tr)
+	if derr != nil {
+		return nil, derr
+	}
+	return gp, nil
+}

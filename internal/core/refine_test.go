@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/prompts"
+)
+
+// flakyPseudoClient returns garbage Cypher at nonce 0 and a good program
+// at later nonces, exercising the refinement retry.
+type flakyPseudoClient struct {
+	fakeClient
+	goodFromNonce int
+}
+
+func (f *flakyPseudoClient) Complete(req llm.Request) (llm.Response, error) {
+	if prompts.Classify(req.Prompt) == prompts.TaskPseudoGraph {
+		if req.Nonce < f.goodFromNonce {
+			return llm.Response{Text: "no cypher here, sorry"}, nil
+		}
+		return llm.Response{Text: "```\nCREATE (c:Country {name: 'China'})-[:POPULATION]->(v:Value {name: '1'})\n```"}, nil
+	}
+	return f.fakeClient.Complete(req)
+}
+
+func TestAnswerRefinedRecoversOnRetry(t *testing.T) {
+	client := &flakyPseudoClient{
+		fakeClient: fakeClient{
+			verify: passthroughVerify,
+			answer: func(p prompts.GraphQAParts) string {
+				if strings.TrimSpace(p.Graph) == "" {
+					return "{nothing}"
+				}
+				return "grounded {answer}"
+			},
+		},
+		goodFromNonce: 1,
+	}
+	p := newTestPipeline(t, client)
+	res, err := p.AnswerRefined("What is the population of China?", DefaultRefineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+	if !res.Grounded {
+		t.Error("retry should have grounded")
+	}
+	if !strings.Contains(res.Answer, "grounded") {
+		t.Errorf("answer = %q", res.Answer)
+	}
+}
+
+func TestAnswerRefinedFirstRoundGroundsImmediately(t *testing.T) {
+	client := &fakeClient{
+		pseudo: "```\nCREATE (c:Country {name: 'China'})-[:POPULATION]->(v:Value {name: '1'})\n```",
+		verify: passthroughVerify,
+		answer: func(prompts.GraphQAParts) string { return "{done}" },
+	}
+	p := newTestPipeline(t, client)
+	res, err := p.AnswerRefined("What is the population of China?", DefaultRefineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 || !res.Grounded {
+		t.Errorf("rounds=%d grounded=%v, want 1/true", res.Rounds, res.Grounded)
+	}
+}
+
+func TestAnswerRefinedExhaustsRounds(t *testing.T) {
+	client := &flakyPseudoClient{
+		fakeClient: fakeClient{
+			verify: passthroughVerify,
+			answer: func(prompts.GraphQAParts) string { return "{fallback}" },
+		},
+		goodFromNonce: 99, // never good
+	}
+	p := newTestPipeline(t, client)
+	res, err := p.AnswerRefined("q?", RefineConfig{MaxRounds: 3, Temperature: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || res.Grounded {
+		t.Errorf("rounds=%d grounded=%v, want 3/false", res.Rounds, res.Grounded)
+	}
+	if !strings.Contains(res.Answer, "fallback") {
+		t.Errorf("answer = %q", res.Answer)
+	}
+}
+
+func TestAnswerRefinedZeroRoundsClamped(t *testing.T) {
+	client := &fakeClient{
+		pseudo: "garbage",
+		verify: passthroughVerify,
+		answer: func(prompts.GraphQAParts) string { return "{x}" },
+	}
+	p := newTestPipeline(t, client)
+	res, err := p.AnswerRefined("q?", RefineConfig{MaxRounds: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want clamped 1", res.Rounds)
+	}
+}
+
+func TestAnswerRefinedMatchesAnswerWhenGrounded(t *testing.T) {
+	// With a deterministic client whose first round grounds, AnswerRefined
+	// must produce the same answer as the plain pipeline.
+	client := &fakeClient{
+		pseudo: "```\nCREATE (c:Country {name: 'China'})-[:POPULATION]->(v:Value {name: '1'})\n```",
+		verify: passthroughVerify,
+		answer: answerEcho,
+	}
+	p := newTestPipeline(t, client)
+	plain, err := p.Answer("What is the population of China?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := p.AnswerRefined("What is the population of China?", DefaultRefineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Answer != refined.Answer {
+		t.Errorf("refined (%q) differs from plain (%q)", refined.Answer, plain.Answer)
+	}
+}

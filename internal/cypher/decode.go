@@ -1,0 +1,35 @@
+package cypher
+
+import (
+	"repro/internal/kg"
+)
+
+// Decode parses and executes a Cypher script and flattens the resulting
+// property graph into a pseudo-graph of triples (Gp in the paper). It is
+// the complete "step 2 → decode" path of Pseudo-Graph Generation: any
+// lexical, syntactic or execution error is returned so callers can measure
+// structural validity (the 98 % figure in §III-A).
+func Decode(src string) (*kg.Graph, error) {
+	script, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ex := NewExecutor()
+	if err := ex.Run(script); err != nil {
+		return nil, err
+	}
+	g := &kg.Graph{}
+	for _, st := range ex.Graph().DecodeTriples() {
+		g.Add(kg.Triple{Subject: st.Subject, Relation: st.Relation, Object: st.Object})
+	}
+	return g, nil
+}
+
+// Validate reports whether the script is structurally valid: it parses,
+// executes, and yields at least one triple. This is the predicate the
+// Fig. 2 experiment (Cypher route ≈ 98 % vs direct generation ≈ 75 %)
+// evaluates over pseudo-graph generations.
+func Validate(src string) bool {
+	g, err := Decode(src)
+	return err == nil && g.Len() > 0
+}

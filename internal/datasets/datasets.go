@@ -1,0 +1,285 @@
+// Package datasets builds the three evaluation sets from a synthetic world,
+// mirroring the paper's benchmark suite (DESIGN.md §2):
+//
+//   - SimpleQuestions-like: single-hop factoids sampled uniformly over the
+//     world's facts (tail-heavy, Freebase-sourced in the paper);
+//   - QALD-like: multi-hop chains, comparisons and superlatives over head
+//     (prominent) entities (Wikidata-sourced in the paper);
+//   - NatureQuestions-like: 50 open-ended questions with three reference
+//     answers each, written from the world's ground truth.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/kg"
+	"repro/internal/qa"
+	"repro/internal/world"
+)
+
+// Config controls dataset sizes and sampling.
+type Config struct {
+	Seed int64
+	// SimpleN is the SimpleQuestions subset size (the paper samples a
+	// subset of the 100k original).
+	SimpleN int
+	// QALDN is the multi-hop set size (QALD-10's English test split is a
+	// few hundred questions).
+	QALDN int
+	// NatureN is the open-ended set size (the paper hand-writes 50).
+	NatureN int
+}
+
+// DefaultConfig matches the paper's evaluation scale.
+func DefaultConfig() Config {
+	return Config{Seed: 7, SimpleN: 400, QALDN: 200, NatureN: 50}
+}
+
+// Suite bundles the three datasets.
+type Suite struct {
+	Simple *qa.Dataset
+	QALD   *qa.Dataset
+	Nature *qa.Dataset
+}
+
+// Datasets returns the suite's sets in presentation order.
+func (s *Suite) Datasets() []*qa.Dataset {
+	return []*qa.Dataset{s.Simple, s.QALD, s.Nature}
+}
+
+// Build constructs the full suite from a world.
+func Build(w *world.World, cfg Config) (*Suite, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &qa.Resolver{W: w}
+	simple, err := buildSimple(w, res, rng, cfg.SimpleN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: SimpleQuestions: %w", err)
+	}
+	qald, err := buildQALD(w, res, rng, cfg.QALDN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: QALD: %w", err)
+	}
+	nature, err := buildNature(w, res, rng, cfg.NatureN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: NatureQuestions: %w", err)
+	}
+	for _, d := range []*qa.Dataset{simple, qald, nature} {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Suite{Simple: simple, QALD: qald, Nature: nature}, nil
+}
+
+// singleHopRels are the relations eligible for SimpleQuestions items: every
+// relation whose subject kind has enough instances to sample from.
+var singleHopRels = []world.RelKey{
+	world.RelBornIn, world.RelBirthDate, world.RelOccupation, world.RelAward,
+	world.RelEducatedAt, world.RelFieldOfWork, world.RelNotableWork,
+	world.RelCitizenOf, world.RelInCountry, world.RelPopulation,
+	world.RelCapital, world.RelContinent, world.RelOfficialLang,
+	world.RelArea, world.RelInflow, world.RelCovers, world.RelElevation,
+	world.RelFlowsThrough, world.RelLength, world.RelFoundedBy,
+	world.RelHeadquarters, world.RelIndustry, world.RelProduct,
+	world.RelUnivIn, world.RelInception, world.RelCreator, world.RelGenre,
+	world.RelPubYear,
+}
+
+// buildSimple samples single-hop questions uniformly over facts — the
+// tail-heavy regime.
+func buildSimple(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "SimpleQuestions", Metric: "hit@1"}
+	seen := make(map[string]bool)
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*200 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		rel := singleHopRels[rng.Intn(len(singleHopRels))]
+		facts := w.FactsByRel(rel)
+		if len(facts) == 0 {
+			continue
+		}
+		f := facts[rng.Intn(len(facts))]
+		subject := w.Entities[f.Subject].Name
+		// Sample among registered paraphrases (roughly a third of items use
+		// a non-primary phrasing), exercising the full template registry as
+		// real crowd-written questions would.
+		tpls := qa.LookupTemplates[rel]
+		if len(tpls) == 0 {
+			continue
+		}
+		tpl := tpls[0]
+		if len(tpls) > 1 && rng.Intn(3) == 0 {
+			tpl = tpls[1+rng.Intn(len(tpls)-1)]
+		}
+		text := tpl.Render(subject, "")
+		if seen[text] {
+			continue
+		}
+		in := qa.Intent{Kind: qa.KindLookup, Subject: subject, Chain: []world.RelKey{rel}}
+		golds, err := res.Gold(in)
+		if err != nil {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID: len(d.Questions), Text: text, Intent: in,
+			Golds: golds, SourceKG: kg.SourceFreebase,
+		})
+	}
+	return d, nil
+}
+
+// buildQALD mixes multi-hop chains (60 %), value/count comparisons (25 %)
+// and superlatives (15 %) over head entities.
+func buildQALD(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "QALD", Metric: "hit@1"}
+	seen := make(map[string]bool)
+	heads := map[world.Kind][]int{}
+	headOf := func(k world.Kind) []int {
+		if _, ok := heads[k]; !ok {
+			heads[k] = w.HeadEntities(k, 0.4)
+		}
+		return heads[k]
+	}
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*300 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		var (
+			text string
+			in   qa.Intent
+		)
+		switch roll := rng.Intn(100); {
+		case roll < 60:
+			tpl := qa.MultiHopTemplates[rng.Intn(len(qa.MultiHopTemplates))]
+			info, _ := world.RelByKey(tpl.Chain[0])
+			pool := headOf(info.SubjectKind)
+			subject := w.Entities[pool[rng.Intn(len(pool))]].Name
+			text = tpl.Render(subject, "")
+			in = qa.Intent{Kind: qa.KindLookup, Subject: subject, Chain: tpl.Chain}
+		case roll < 85:
+			tpl := qa.CompareTemplates[rng.Intn(len(qa.CompareTemplates))]
+			info, _ := world.RelByKey(tpl.Chain[0])
+			pool := headOf(info.SubjectKind)
+			if len(pool) < 2 {
+				continue
+			}
+			i, j := rng.Intn(len(pool)), rng.Intn(len(pool))
+			if i == j {
+				continue
+			}
+			a, b := w.Entities[pool[i]].Name, w.Entities[pool[j]].Name
+			text = tpl.Render(a, b)
+			in = qa.Intent{Kind: tpl.Kind, Subject: a, Subject2: b, Chain: tpl.Chain}
+		default:
+			tpl := qa.SuperlativeTemplates[rng.Intn(len(qa.SuperlativeTemplates))]
+			pool := headOf(world.KindCountry)
+			subject := w.Entities[pool[rng.Intn(len(pool))]].Name
+			text = tpl.Render(subject, "")
+			in = qa.Intent{Kind: qa.KindSuperlative, Subject: subject,
+				ValueRel: tpl.ValueRel, FilterRel: tpl.FilterRel}
+		}
+		if seen[text] {
+			continue
+		}
+		golds, err := res.Gold(in)
+		if err != nil {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID: len(d.Questions), Text: text, Intent: in,
+			Golds: golds, SourceKG: kg.SourceWikidata,
+		})
+	}
+	return d, nil
+}
+
+// buildNature writes open-ended questions with three reference answers
+// each, in the spirit of the paper's hand-built 50-question set: answers
+// should be comprehensive, so references realise the full support-fact set
+// in three different orders/selections.
+func buildNature(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "NatureQuestions", Metric: "rouge-l"}
+	seen := make(map[string]bool)
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*300 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		tpl := qa.OpenTemplates[rng.Intn(len(qa.OpenTemplates))]
+		var subject string
+		switch tpl.Kind {
+		case qa.KindOpenField:
+			pool := w.OfKind(world.KindField)
+			subject = w.Entities[pool[rng.Intn(len(pool))]].Name
+		case qa.KindOpenProfile:
+			pool := w.HeadEntities(kindForProfile(rng), 0.5)
+			subject = w.Entities[pool[rng.Intn(len(pool))]].Name
+		case qa.KindOpenList:
+			info, _ := world.RelByKey(tpl.Chain[0])
+			pool := w.HeadEntities(info.SubjectKind, 0.5)
+			subject = w.Entities[pool[rng.Intn(len(pool))]].Name
+		}
+		text := tpl.Render(subject, "")
+		if seen[text] {
+			continue
+		}
+		in := qa.Intent{Kind: tpl.Kind, Subject: subject, Chain: tpl.Chain}
+		support := res.SupportFacts(in)
+		if len(support) < 2 {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID: len(d.Questions), Text: text, Intent: in,
+			Refs:     references(w, support, rng),
+			SourceKG: kg.SourceWikidata,
+		})
+	}
+	return d, nil
+}
+
+// kindForProfile picks an entity kind for "Tell me about X" questions.
+func kindForProfile(rng *rand.Rand) world.Kind {
+	kinds := []world.Kind{world.KindPerson, world.KindPerson, world.KindCompany, world.KindLake, world.KindMountain}
+	return kinds[rng.Intn(len(kinds))]
+}
+
+// references produces three reference answers: the full support set in
+// canonical order, a shuffled variant, and a trimmed "essentials" variant.
+// Together they reward comprehensive, fact-dense answers, as the paper
+// intends ("expecting the answer will be comprehensive enough").
+func references(w *world.World, support []world.Fact, rng *rand.Rand) []string {
+	full := qa.RealizeFacts(w, support)
+
+	shuffled := make([]world.Fact, len(support))
+	copy(shuffled, support)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	alt := qa.RealizeFacts(w, shuffled)
+
+	trimmed := support
+	if len(trimmed) > 3 {
+		trimmed = trimmed[:len(trimmed)*2/3]
+	}
+	lead := "In short: " + qa.RealizeFacts(w, trimmed)
+
+	return []string{full, alt, lead}
+}
+
+// Describe summarises the suite for logs.
+func (s *Suite) Describe() string {
+	var b strings.Builder
+	for _, d := range s.Datasets() {
+		fmt.Fprintf(&b, "%s: %d questions (%s)\n", d.Name, len(d.Questions), d.Metric)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package datasets
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/kg"
+	"repro/internal/qa"
+	"repro/internal/world"
+)
+
+// questionJSON is the JSON wire form of one question, carrying the intent
+// so loaded datasets remain machine-evaluable.
+type questionJSON struct {
+	ID        int      `json:"id"`
+	Text      string   `json:"text"`
+	Kind      string   `json:"kind"`
+	Subject   string   `json:"subject"`
+	Subject2  string   `json:"subject2,omitempty"`
+	Chain     []string `json:"chain,omitempty"`
+	ValueRel  string   `json:"value_rel,omitempty"`
+	FilterRel string   `json:"filter_rel,omitempty"`
+	Golds     []string `json:"golds,omitempty"`
+	Refs      []string `json:"refs,omitempty"`
+	SourceKG  string   `json:"source_kg"`
+}
+
+// datasetJSON is the JSON wire form of a dataset.
+type datasetJSON struct {
+	Name      string         `json:"name"`
+	Metric    string         `json:"metric"`
+	Questions []questionJSON `json:"questions"`
+}
+
+var kindNames = map[qa.IntentKind]string{
+	qa.KindLookup:       "lookup",
+	qa.KindCompareCount: "compare-count",
+	qa.KindCompareValue: "compare-value",
+	qa.KindSuperlative:  "superlative",
+	qa.KindOpenProfile:  "open-profile",
+	qa.KindOpenField:    "open-field",
+	qa.KindOpenList:     "open-list",
+}
+
+var kindByName = func() map[string]qa.IntentKind {
+	m := make(map[string]qa.IntentKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteJSON serialises a dataset.
+func WriteJSON(w io.Writer, d *qa.Dataset) error {
+	doc := datasetJSON{Name: d.Name, Metric: d.Metric}
+	for _, q := range d.Questions {
+		qj := questionJSON{
+			ID:        q.ID,
+			Text:      q.Text,
+			Kind:      kindNames[q.Intent.Kind],
+			Subject:   q.Intent.Subject,
+			Subject2:  q.Intent.Subject2,
+			ValueRel:  string(q.Intent.ValueRel),
+			FilterRel: string(q.Intent.FilterRel),
+			Golds:     q.Golds,
+			Refs:      q.Refs,
+			SourceKG:  q.SourceKG.String(),
+		}
+		for _, rel := range q.Intent.Chain {
+			qj.Chain = append(qj.Chain, string(rel))
+		}
+		doc.Questions = append(doc.Questions, qj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("datasets: write: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a dataset written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*qa.Dataset, error) {
+	var doc datasetJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("datasets: read: %w", err)
+	}
+	d := &qa.Dataset{Name: doc.Name, Metric: doc.Metric}
+	for i, qj := range doc.Questions {
+		kind, ok := kindByName[qj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("datasets: question %d: unknown kind %q", i, qj.Kind)
+		}
+		src, err := kg.ParseSource(qj.SourceKG)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: question %d: %w", i, err)
+		}
+		in := qa.Intent{
+			Kind:      kind,
+			Subject:   qj.Subject,
+			Subject2:  qj.Subject2,
+			ValueRel:  world.RelKey(qj.ValueRel),
+			FilterRel: world.RelKey(qj.FilterRel),
+		}
+		for _, rel := range qj.Chain {
+			in.Chain = append(in.Chain, world.RelKey(rel))
+		}
+		d.Questions = append(d.Questions, qa.Question{
+			ID: qj.ID, Text: qj.Text, Intent: in,
+			Golds: qj.Golds, Refs: qj.Refs, SourceKG: src,
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

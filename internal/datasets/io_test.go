@@ -1,0 +1,57 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	s, err := Build(testWorld(t), smallData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range s.Datasets() {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, ds); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if loaded.Name != ds.Name || loaded.Metric != ds.Metric {
+			t.Errorf("header mismatch: %s/%s", loaded.Name, loaded.Metric)
+		}
+		if len(loaded.Questions) != len(ds.Questions) {
+			t.Fatalf("%s: %d questions, want %d", ds.Name, len(loaded.Questions), len(ds.Questions))
+		}
+		for i, q := range ds.Questions {
+			got := loaded.Questions[i]
+			if got.Text != q.Text || got.Intent.Kind != q.Intent.Kind ||
+				got.Intent.Subject != q.Intent.Subject || got.SourceKG != q.SourceKG {
+				t.Fatalf("%s question %d mismatch:\n%+v\nvs\n%+v", ds.Name, i, got, q)
+			}
+			if len(got.Intent.Chain) != len(q.Intent.Chain) {
+				t.Fatalf("%s question %d chain mismatch", ds.Name, i)
+			}
+			if len(got.Golds) != len(q.Golds) || len(got.Refs) != len(q.Refs) {
+				t.Fatalf("%s question %d answers mismatch", ds.Name, i)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","metric":"hit@1","questions":[{"kind":"martian"}]}`)); err == nil {
+		t.Error("unknown intent kind accepted")
+	}
+	// A loaded dataset must still validate (question without golds).
+	bad := `{"name":"x","metric":"hit@1","questions":[{"id":0,"text":"q","kind":"lookup","subject":"s","source_kg":"wikidata"}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}

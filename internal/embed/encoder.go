@@ -1,0 +1,222 @@
+// Package embed provides the deterministic sentence encoder that stands in
+// for Sentence-BERT in the PG&AKV pipeline (see DESIGN.md §2).
+//
+// The encoder maps text to a dense, L2-normalised vector using feature
+// hashing over word unigrams, word bigrams and character trigrams. Texts
+// sharing vocabulary and local word order land close in cosine space, which
+// is the only property the pipeline's semantic query step relies on: a
+// pseudo-triple "<China> <Number of population> <1463725000>" must score
+// high against the KG triple "<China> <population> <1443497378>" because
+// they share the subject and most relation vocabulary, even though the
+// hallucinated object differs.
+//
+// The encoder is pure and deterministic: identical text always produces an
+// identical vector, across runs and platforms.
+package embed
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Dim is the dimensionality of produced vectors. 256 gives enough hash
+// buckets that collisions are rare over KG-scale vocabularies while keeping
+// brute-force cosine scans cheap.
+const Dim = 256
+
+// Vector is a dense embedding. Vectors returned by the Encoder are
+// L2-normalised, so Dot doubles as cosine similarity.
+type Vector [Dim]float32
+
+// Dot returns the inner product of two vectors. For encoder output this is
+// the cosine similarity in [-1, 1].
+func (v Vector) Dot(u Vector) float64 {
+	var s float64
+	for i := 0; i < Dim; i++ {
+		s += float64(v[i]) * float64(u[i])
+	}
+	return s
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 {
+	var s float64
+	for i := 0; i < Dim; i++ {
+		s += float64(v[i]) * float64(v[i])
+	}
+	return math.Sqrt(s)
+}
+
+// IsZero reports whether every component is zero (the embedding of empty
+// text).
+func (v Vector) IsZero() bool {
+	for i := 0; i < Dim; i++ {
+		if v[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Cosine returns the cosine similarity of two arbitrary (possibly
+// unnormalised) vectors; 0 if either is zero.
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// Encoder converts text to vectors. It is stateless and safe for concurrent
+// use; the zero value is ready to use with default feature weights.
+type Encoder struct {
+	// WordWeight scales word-unigram features (default 1.0).
+	WordWeight float64
+	// BigramWeight scales word-bigram features (default 0.5). Bigrams
+	// capture relation phrases like "place of" + "of birth".
+	BigramWeight float64
+	// CharWeight scales character-trigram features (default 0.35). Char
+	// features let near-miss tokens (population vs populations,
+	// schema-styled paths like people/person/place_of_birth) overlap.
+	CharWeight float64
+}
+
+// NewEncoder returns an encoder with the default feature weights.
+func NewEncoder() *Encoder {
+	return &Encoder{WordWeight: 1.0, BigramWeight: 0.5, CharWeight: 0.35}
+}
+
+func (e *Encoder) weights() (w, b, c float64) {
+	w, b, c = e.WordWeight, e.BigramWeight, e.CharWeight
+	if w == 0 && b == 0 && c == 0 {
+		return 1.0, 0.5, 0.35
+	}
+	return w, b, c
+}
+
+// Encode returns the L2-normalised embedding of text. Empty or
+// all-separator text yields the zero vector.
+func (e *Encoder) Encode(text string) Vector {
+	var v Vector
+	ww, wb, wc := e.weights()
+	tokens := Tokenize(text)
+	if len(tokens) == 0 {
+		return v
+	}
+	for _, tok := range tokens {
+		addFeature(&v, "w:"+tok, ww)
+		if wc != 0 {
+			padded := "^" + tok + "$"
+			for i := 0; i+3 <= len(padded); i++ {
+				addFeature(&v, "c:"+padded[i:i+3], wc)
+			}
+		}
+	}
+	if wb != 0 {
+		for i := 0; i+1 < len(tokens); i++ {
+			addFeature(&v, "b:"+tokens[i]+" "+tokens[i+1], wb)
+		}
+	}
+	normalize(&v)
+	return v
+}
+
+// addFeature hashes the feature into two buckets with signs derived from
+// the hash (the "hashing trick" with sign bit), spreading mass and making
+// accidental collisions cancel rather than compound.
+func addFeature(v *Vector, feat string, weight float64) {
+	h := fnv64(feat)
+	i1 := int(h % Dim)
+	s1 := float32(1)
+	if h&(1<<40) != 0 {
+		s1 = -1
+	}
+	h2 := fnv64a(feat)
+	i2 := int(h2 % Dim)
+	s2 := float32(1)
+	if h2&(1<<40) != 0 {
+		s2 = -1
+	}
+	v[i1] += s1 * float32(weight)
+	v[i2] += s2 * float32(weight) * 0.5
+}
+
+func normalize(v *Vector) {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	inv := float32(1 / n)
+	for i := 0; i < Dim; i++ {
+		v[i] *= inv
+	}
+}
+
+// Tokenize lower-cases text and splits it into alphanumeric runs. Schema
+// punctuation (slashes, underscores, dots) acts as a separator, so the
+// Freebase-style relation "people/person/place_of_birth" tokenises to
+// [people person place of birth] and overlaps the Wikidata-style label
+// "place of birth". This cross-schema overlap is what makes atomic semantic
+// querying source-agnostic, the property Table III depends on.
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Similarity is a convenience that encodes both texts and returns their
+// cosine similarity.
+func (e *Encoder) Similarity(a, b string) float64 {
+	va := e.Encode(a)
+	vb := e.Encode(b)
+	if va.IsZero() || vb.IsZero() {
+		return 0
+	}
+	return va.Dot(vb)
+}
+
+// fnv64 is FNV-1 64-bit.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h *= prime
+		h ^= uint64(s[i])
+	}
+	return h
+}
+
+// fnv64a is FNV-1a 64-bit (xor before multiply), giving an independent
+// second hash for the two-bucket trick.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

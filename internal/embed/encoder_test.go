@@ -1,0 +1,167 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	enc := NewEncoder()
+	a := enc.Encode("Lake Superior area 82350")
+	b := enc.Encode("Lake Superior area 82350")
+	if a != b {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestEncodeNormalised(t *testing.T) {
+	enc := NewEncoder()
+	for _, text := range []string{"a", "hello world", "China population 1443497378"} {
+		v := enc.Encode(text)
+		if n := v.Norm(); math.Abs(n-1) > 1e-5 {
+			t.Errorf("Encode(%q) norm = %v, want 1", text, n)
+		}
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	enc := NewEncoder()
+	if !enc.Encode("").IsZero() {
+		t.Error("Encode(empty) should be zero vector")
+	}
+	if !enc.Encode("   ...  ").IsZero() {
+		t.Error("Encode(separators) should be zero vector")
+	}
+}
+
+func TestSimilarityOrdering(t *testing.T) {
+	enc := NewEncoder()
+	query := "China population 1443497378"
+	same := enc.Similarity(query, "China population 1375198619")
+	related := enc.Similarity(query, "China capital Beijing")
+	unrelated := enc.Similarity(query, "Lake Superior area 82350")
+	if !(same > related && related > unrelated) {
+		t.Errorf("similarity ordering broken: same=%.3f related=%.3f unrelated=%.3f",
+			same, related, unrelated)
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	enc := NewEncoder()
+	if s := enc.Similarity("place of birth", "place of birth"); math.Abs(s-1) > 1e-5 {
+		t.Errorf("self similarity = %v, want 1", s)
+	}
+}
+
+// TestCrossSchemaOverlap asserts the property Table III relies on: a
+// Wikidata-style label and the corresponding Freebase path land close.
+func TestCrossSchemaOverlap(t *testing.T) {
+	enc := NewEncoder()
+	cases := []struct{ natural, path string }{
+		{"place of birth", "people/person/place_of_birth"},
+		{"population", "location/statistical_region/population"},
+		{"founded by", "organization/organization/founders"},
+	}
+	for _, c := range cases {
+		aligned := enc.Similarity(c.natural, c.path)
+		foreign := enc.Similarity(c.natural, "geography/river/basin_countries")
+		if aligned <= foreign {
+			t.Errorf("%q vs %q (%.3f) should beat foreign path (%.3f)",
+				c.natural, c.path, aligned, foreign)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello World", []string{"hello", "world"}},
+		{"people/person/place_of_birth", []string{"people", "person", "place", "of", "birth"}},
+		{"it's 42", []string{"it", "s", "42"}},
+		{"", nil},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+// Property: cosine of encoder outputs is always within [-1, 1] + epsilon,
+// and Dot on normalised vectors equals Cosine.
+func TestCosineBounds(t *testing.T) {
+	enc := NewEncoder()
+	f := func(a, b string) bool {
+		va, vb := enc.Encode(a), enc.Encode(b)
+		d := va.Dot(vb)
+		if d < -1.0001 || d > 1.0001 {
+			return false
+		}
+		if va.IsZero() || vb.IsZero() {
+			return true
+		}
+		return math.Abs(Cosine(va, vb)-d) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenisation is case-insensitive, so encodings are too.
+func TestEncodeCaseInsensitive(t *testing.T) {
+	enc := NewEncoder()
+	f := func(s string) bool {
+		return enc.Encode(s) == enc.Encode(upperASCII(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func upperASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 32
+		}
+	}
+	return string(b)
+}
+
+func TestZeroWeightEncoderUsesDefaults(t *testing.T) {
+	var enc Encoder // zero value
+	v := enc.Encode("hello world")
+	if v.IsZero() {
+		t.Error("zero-value encoder produced zero vector; defaults not applied")
+	}
+}
+
+func TestCustomWeights(t *testing.T) {
+	wordOnly := &Encoder{WordWeight: 1, BigramWeight: 0, CharWeight: 0}
+	// Without char features, morphological variants share nothing.
+	sim := wordOnly.Similarity("educated", "education")
+	full := NewEncoder().Similarity("educated", "education")
+	if sim >= full {
+		t.Errorf("char features should increase variant similarity: wordOnly=%.3f full=%.3f", sim, full)
+	}
+}
+
+func TestVectorNormZero(t *testing.T) {
+	var v Vector
+	if v.Norm() != 0 {
+		t.Error("zero vector norm != 0")
+	}
+	if Cosine(v, v) != 0 {
+		t.Error("Cosine of zero vectors should be 0")
+	}
+}

@@ -1,0 +1,111 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNT streams the store's triples in a line-oriented N-Triples-like
+// text format: one angle-bracket triple per line, with an optional
+// "@ord=N" suffix for time-varying revisions. The format round-trips
+// through ReadNT and is easy to diff and grep.
+func (st *Store) WriteNT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range st.All() {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return fmt.Errorf("kg: write: %w", err)
+		}
+		if t.Ord != 0 {
+			if _, err := fmt.Fprintf(bw, " @ord=%d", t.Ord); err != nil {
+				return fmt.Errorf("kg: write: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("kg: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNT loads triples in the WriteNT format into a new store tagged with
+// the given source. Blank lines and #-comments are skipped.
+func ReadNT(r io.Reader, source Source) (*Store, error) {
+	st := NewStore(source)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ord := 0
+		if i := strings.LastIndex(line, "@ord="); i > 0 {
+			if _, err := fmt.Sscanf(line[i:], "@ord=%d", &ord); err != nil {
+				return nil, fmt.Errorf("kg: line %d: bad ord suffix: %w", lineNo, err)
+			}
+			line = strings.TrimSpace(line[:i])
+		}
+		t, err := ParseTriple(line)
+		if err != nil {
+			return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
+		}
+		t.Ord = ord
+		st.Add(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kg: read: %w", err)
+	}
+	st.Freeze()
+	return st, nil
+}
+
+// tripleJSON is the JSON wire form of a triple.
+type tripleJSON struct {
+	S   string `json:"s"`
+	R   string `json:"r"`
+	O   string `json:"o"`
+	Ord int    `json:"ord,omitempty"`
+}
+
+// storeJSON is the JSON wire form of a store.
+type storeJSON struct {
+	Source  string       `json:"source"`
+	Triples []tripleJSON `json:"triples"`
+}
+
+// WriteJSON serialises the store as a single JSON document.
+func (st *Store) WriteJSON(w io.Writer) error {
+	doc := storeJSON{Source: st.Source().String()}
+	for _, t := range st.All() {
+		doc.Triples = append(doc.Triples, tripleJSON{S: t.Subject, R: t.Relation, O: t.Object, Ord: t.Ord})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("kg: write json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a store from the WriteJSON format.
+func ReadJSON(r io.Reader) (*Store, error) {
+	var doc storeJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("kg: read json: %w", err)
+	}
+	src, err := ParseSource(doc.Source)
+	if err != nil {
+		return nil, err
+	}
+	st := NewStore(src)
+	for _, t := range doc.Triples {
+		st.Add(Triple{Subject: t.S, Relation: t.R, Object: t.O, Ord: t.Ord})
+	}
+	st.Freeze()
+	return st, nil
+}

@@ -1,0 +1,100 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNTRoundTrip(t *testing.T) {
+	st := newTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteNT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadNT(&buf, SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != st.Len() {
+		t.Fatalf("round trip lost triples: %d != %d", loaded.Len(), st.Len())
+	}
+	for _, tr := range st.All() {
+		found := false
+		for _, got := range loaded.SubjectRelation(tr.Subject, tr.Relation) {
+			if got.Object == tr.Object && got.Ord == tr.Ord {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("round trip lost %v (ord %d)", tr, tr.Ord)
+		}
+	}
+}
+
+func TestNTOrdSuffix(t *testing.T) {
+	st := newTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteNT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "@ord=2") {
+		t.Errorf("ord suffix missing:\n%s", buf.String())
+	}
+}
+
+func TestReadNTSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n<a> <r> <x>\n  \n<b> <r> <y> @ord=3\n"
+	st, err := ReadNT(strings.NewReader(in), SourceFreebase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("loaded %d triples, want 2", st.Len())
+	}
+	got := st.Subject("b")
+	if len(got) != 1 || got[0].Ord != 3 {
+		t.Errorf("ord not restored: %+v", got)
+	}
+}
+
+func TestReadNTErrors(t *testing.T) {
+	if _, err := ReadNT(strings.NewReader("<broken line"), SourceWikidata); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadNT(strings.NewReader("<a> <b> <c> @ord=x"), SourceWikidata); err == nil {
+		t.Error("bad ord suffix accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	st := newTestStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Source() != st.Source() {
+		t.Errorf("source = %v, want %v", loaded.Source(), st.Source())
+	}
+	if loaded.Len() != st.Len() {
+		t.Errorf("round trip lost triples: %d != %d", loaded.Len(), st.Len())
+	}
+	// Time-varying ordering must survive.
+	pops := loaded.SubjectRelation("China", "population")
+	if len(pops) != 3 || pops[2].Object != "1443497378" {
+		t.Errorf("ord ordering lost: %v", pops)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"source":"dbpedia","triples":[]}`)); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

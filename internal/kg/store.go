@@ -1,0 +1,273 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is an indexed, in-memory triple store. It maintains SPO, POS and OSP
+// orderings via hash indexes over each position plus pair indexes, which is
+// sufficient for the access paths the pipeline needs:
+//
+//   - all triples for a subject (verification gold graph assembly),
+//   - all triples for a (subject, relation) pair (fact lookup, time series),
+//   - all subjects for a (relation, object) pair (reverse lookup, ToG),
+//   - full scan in insertion order (vector-store construction).
+//
+// Store is safe for concurrent readers after Freeze; writes are mutex-guarded.
+type Store struct {
+	mu     sync.RWMutex
+	source Source
+
+	triples []Triple
+
+	bySubject  map[string][]int
+	byRelation map[string][]int
+	byObject   map[string][]int
+	bySR       map[string][]int
+	byRO       map[string][]int
+	byKey      map[string]int
+
+	frozen bool
+}
+
+// NewStore returns an empty store whose triples will be tagged with the
+// given source.
+func NewStore(source Source) *Store {
+	return &Store{
+		source:     source,
+		bySubject:  make(map[string][]int),
+		byRelation: make(map[string][]int),
+		byObject:   make(map[string][]int),
+		bySR:       make(map[string][]int),
+		byRO:       make(map[string][]int),
+		byKey:      make(map[string]int),
+	}
+}
+
+// Source returns the KG source the store holds.
+func (st *Store) Source() Source {
+	return st.source
+}
+
+// Len returns the number of stored triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.triples)
+}
+
+// Add inserts a triple, assigning its ID and Source. Duplicate surface
+// forms are ignored (first write wins) so stores are idempotent under
+// re-ingestion. It returns the triple's ID and whether it was newly added.
+func (st *Store) Add(t Triple) (int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.frozen {
+		panic("kg: Add on frozen store")
+	}
+	key := t.Key()
+	if id, ok := st.byKey[key]; ok {
+		return id, false
+	}
+	id := len(st.triples)
+	t.ID = id
+	t.Source = st.source
+	st.triples = append(st.triples, t)
+	st.byKey[key] = id
+	st.bySubject[t.Subject] = append(st.bySubject[t.Subject], id)
+	st.byRelation[t.Relation] = append(st.byRelation[t.Relation], id)
+	st.byObject[t.Object] = append(st.byObject[t.Object], id)
+	st.bySR[t.SRKey()] = append(st.bySR[t.SRKey()], id)
+	st.byRO[t.Relation+"\x00"+t.Object] = append(st.byRO[t.Relation+"\x00"+t.Object], id)
+	return id, true
+}
+
+// AddAll inserts every triple in order, returning the count newly added.
+func (st *Store) AddAll(ts []Triple) int {
+	added := 0
+	for _, t := range ts {
+		if _, ok := st.Add(t); ok {
+			added++
+		}
+	}
+	return added
+}
+
+// Freeze marks the store read-only. Further Adds panic. Freezing sorts each
+// (subject, relation) posting list by Ord so time-varying facts are returned
+// chronologically, as the verification prompt requires.
+func (st *Store) Freeze() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.frozen {
+		return
+	}
+	for _, ids := range st.bySR {
+		sort.SliceStable(ids, func(i, j int) bool {
+			return st.triples[ids[i]].Ord < st.triples[ids[j]].Ord
+		})
+	}
+	st.frozen = true
+}
+
+// Get returns the triple with the given ID.
+func (st *Store) Get(id int) (Triple, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if id < 0 || id >= len(st.triples) {
+		return Triple{}, false
+	}
+	return st.triples[id], true
+}
+
+// All returns a copy of every triple in insertion order.
+func (st *Store) All() []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]Triple, len(st.triples))
+	copy(out, st.triples)
+	return out
+}
+
+// take returns the triples at the given ids in order.
+func (st *Store) take(ids []int) []Triple {
+	out := make([]Triple, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, st.triples[id])
+	}
+	return out
+}
+
+// Subject returns all triples whose subject matches exactly.
+func (st *Store) Subject(s string) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.take(st.bySubject[s])
+}
+
+// Relation returns all triples with the given relation.
+func (st *Store) Relation(r string) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.take(st.byRelation[r])
+}
+
+// Object returns all triples whose object matches exactly.
+func (st *Store) Object(o string) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.take(st.byObject[o])
+}
+
+// SubjectRelation returns the triples for (subject, relation), in Ord order
+// once the store is frozen.
+func (st *Store) SubjectRelation(s, r string) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.take(st.bySR[s+"\x00"+r])
+}
+
+// RelationObject returns the triples for (relation, object) — the reverse
+// lookup used by graph-exploration baselines.
+func (st *Store) RelationObject(r, o string) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.take(st.byRO[r+"\x00"+o])
+}
+
+// HasSubject reports whether any triple has the given subject.
+func (st *Store) HasSubject(s string) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.bySubject[s]) > 0
+}
+
+// Subjects returns all distinct subjects, sorted.
+func (st *Store) Subjects() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.bySubject))
+	for s := range st.bySubject {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relations returns all distinct relations, sorted.
+func (st *Store) Relations() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.byRelation))
+	for r := range st.byRelation {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbours returns every triple whose subject is s — the one-hop
+// neighbourhood used by exploration baselines. It is an alias of Subject
+// kept for call-site readability.
+func (st *Store) Neighbours(s string) []Triple {
+	return st.Subject(s)
+}
+
+// SubjectGraph returns a Graph holding the given subjects' triples, in
+// subject order then store order. Unknown subjects contribute nothing.
+func (st *Store) SubjectGraph(subjects []string) *Graph {
+	g := &Graph{}
+	for _, s := range subjects {
+		g.Add(st.Subject(s)...)
+	}
+	return g
+}
+
+// FindSubjectFold returns the canonical subject whose case-folded form
+// matches the query, if any. Pseudo-triples often differ from KG entities
+// only in capitalisation ("lake superior" vs "Lake Superior").
+func (st *Store) FindSubjectFold(q string) (string, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.bySubject[q]) > 0 {
+		return q, true
+	}
+	folded := strings.ToLower(q)
+	for s := range st.bySubject {
+		if strings.ToLower(s) == folded {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// Stats summarises the store for diagnostics.
+type Stats struct {
+	Source    Source
+	Triples   int
+	Subjects  int
+	Relations int
+	Objects   int
+}
+
+// Stats returns summary statistics.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return Stats{
+		Source:    st.source,
+		Triples:   len(st.triples),
+		Subjects:  len(st.bySubject),
+		Relations: len(st.byRelation),
+		Objects:   len(st.byObject),
+	}
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d triples, %d subjects, %d relations, %d objects",
+		s.Source, s.Triples, s.Subjects, s.Relations, s.Objects)
+}

@@ -1,0 +1,224 @@
+package llm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/prompts"
+	"repro/internal/qa"
+	"repro/internal/world"
+)
+
+// completeParametric handles IO and CoT prompts: answer purely from
+// parametric memory. CoT decomposes multi-hop questions into per-hop
+// recalls; IO pays an extra per-hop penalty, modelling undedecomposed
+// direct recall.
+func (s *SimLM) completeParametric(req Request, cot bool) (string, error) {
+	question, err := prompts.ExtractProblem(req.Prompt)
+	if err != nil {
+		return "", err
+	}
+	intent, perr := qa.Parse(question)
+	if perr != nil {
+		// Incomprehensible question: hedge with a fabricated answer.
+		return fmt.Sprintf("I believe the answer is {%s}.",
+			s.mem.guessEntity(world.KindPerson, question, strconv.Itoa(req.Nonce))), nil
+	}
+	if intent.IsOpen() {
+		return s.openParametric(question, intent, req), nil
+	}
+	answer := s.preciseParametric(question, intent, req, cot)
+	if cot {
+		return "Let me reason step by step. " + answer, nil
+	}
+	return answer, nil
+}
+
+// preciseParametric produces a {marked} answer for a precise intent from
+// memory alone.
+func (s *SimLM) preciseParametric(question string, intent qa.Intent, req Request, cot bool) string {
+	nonce := req.Nonce
+	switch intent.Kind {
+	case qa.KindLookup:
+		obj := s.recallChain(question, intent.Subject, intent.Chain, req, cot)
+		return fmt.Sprintf("The answer is {%s}.", obj)
+	case qa.KindCompareCount:
+		return s.compareCount(question, intent, req)
+	case qa.KindCompareValue:
+		return s.compareValue(question, intent, req)
+	case qa.KindSuperlative:
+		return s.superlativeParametric(question, intent, req)
+	default:
+		return fmt.Sprintf("The answer is {%s}.",
+			s.mem.guessEntity(world.KindPerson, question, strconv.Itoa(nonce)))
+	}
+}
+
+// recallChain walks a relation chain through the model's beliefs. Each hop
+// recalls (current, rel); unknown hops continue from a fabricated entity of
+// the right kind (the model's imagination stays type-consistent). IO mode
+// adds a per-hop failure chance on top.
+func (s *SimLM) recallChain(question, subject string, chain []world.RelKey, req Request, cot bool) string {
+	cur := subject
+	for hop, rel := range chain {
+		info, _ := world.RelByKey(rel)
+		hopSalt := question + "#" + strconv.Itoa(hop) + "#" + strconv.Itoa(req.Nonce)
+		var value string
+		known := false
+		if ent, ok := s.mem.resolveSubject(cur); ok {
+			beliefs := s.mem.recallSR(ent.ID, rel, req.Temperature, req.Nonce)
+			if len(beliefs) > 0 {
+				value = beliefs[0].Object
+				known = true
+			}
+		}
+		if known && !cot && coin(s.params.IOPenalty, s.seed, "iopen", hopSalt) {
+			known = false
+		}
+		if !known {
+			value = s.mem.guessForRelation(rel, hopSalt)
+		}
+		if info.ObjectLiteral || hop == len(chain)-1 {
+			return value
+		}
+		cur = value
+	}
+	return cur
+}
+
+// compareCount answers "who has more X" from believed fact counts; with no
+// usable knowledge it picks one of the two subjects deterministically (a
+// coin-flip guess, right half the time — which is why comparison-heavy
+// multi-hop sets are kinder to parametric baselines than tail factoids).
+func (s *SimLM) compareCount(question string, intent qa.Intent, req Request) string {
+	countOf := func(name string) int {
+		ent, ok := s.mem.resolveSubject(name)
+		if !ok {
+			return 0
+		}
+		return len(s.mem.recallSR(ent.ID, intent.Chain[0], req.Temperature, req.Nonce))
+	}
+	a, b := countOf(intent.Subject), countOf(intent.Subject2)
+	switch {
+	case a > b:
+		return fmt.Sprintf("{%s} relates to more of them (%d vs %d).", intent.Subject, a, b)
+	case b > a:
+		return fmt.Sprintf("{%s} relates to more of them (%d vs %d).", intent.Subject2, b, a)
+	default:
+		pick := intent.Subject
+		if hash64(s.seed, "cmpguess", question, strconv.Itoa(req.Nonce))%2 == 0 {
+			pick = intent.Subject2
+		}
+		return fmt.Sprintf("It is hard to say, but I believe {%s}.", pick)
+	}
+}
+
+// compareValue answers "which is larger" from believed numeric values,
+// guessing between the two when a value is missing.
+func (s *SimLM) compareValue(question string, intent qa.Intent, req Request) string {
+	valueOf := func(name string) (float64, bool) {
+		ent, ok := s.mem.resolveSubject(name)
+		if !ok {
+			return 0, false
+		}
+		beliefs := s.mem.recallSR(ent.ID, intent.Chain[0], req.Temperature, req.Nonce)
+		if len(beliefs) == 0 {
+			return 0, false
+		}
+		return parseNumeric(beliefs[len(beliefs)-1].Object)
+	}
+	av, aok := valueOf(intent.Subject)
+	bv, bok := valueOf(intent.Subject2)
+	if aok && bok {
+		if av >= bv {
+			return fmt.Sprintf("{%s} is larger (%g vs %g).", intent.Subject, av, bv)
+		}
+		return fmt.Sprintf("{%s} is larger (%g vs %g).", intent.Subject2, bv, av)
+	}
+	pick := intent.Subject
+	if hash64(s.seed, "cmpvguess", question, strconv.Itoa(req.Nonce))%2 == 0 {
+		pick = intent.Subject2
+	}
+	return fmt.Sprintf("I am not certain, but I would say {%s}.", pick)
+}
+
+// superlativeParametric answers "which X in Y is largest" from the believed
+// candidate set: the model must both recall the membership facts and the
+// value facts.
+func (s *SimLM) superlativeParametric(question string, intent qa.Intent, req Request) string {
+	filterEnt, ok := s.mem.resolveSubject(intent.Subject)
+	if !ok {
+		return fmt.Sprintf("Perhaps {%s}.", s.mem.guessEntity(world.KindLake, question, strconv.Itoa(req.Nonce)))
+	}
+	best := ""
+	bestV := -1.0
+	for _, f := range s.w.FactsByRel(intent.FilterRel) {
+		if !f.ObjectIsEntity() || f.Object != filterEnt.ID {
+			continue
+		}
+		// The model only considers candidates whose membership it knows.
+		if _, known := s.mem.recallFact(f, req.Temperature, req.Nonce); !known {
+			continue
+		}
+		candidate := s.w.Entities[f.Subject].Name
+		vb := s.mem.recallSR(f.Subject, intent.ValueRel, req.Temperature, req.Nonce)
+		if len(vb) == 0 {
+			continue
+		}
+		if v, ok := parseNumeric(vb[len(vb)-1].Object); ok && v > bestV {
+			bestV = v
+			best = candidate
+		}
+	}
+	if best == "" {
+		info, _ := world.RelByKey(intent.FilterRel)
+		return fmt.Sprintf("Perhaps {%s}.", s.mem.guessEntity(info.SubjectKind, question, strconv.Itoa(req.Nonce)))
+	}
+	return fmt.Sprintf("Among them, {%s} has the largest value (%g).", best, bestV)
+}
+
+// fillerSentences are the generic prose a parametric open answer pads
+// itself with, lowering ROUGE precision the way real chatty answers do.
+var fillerSentences = []string{
+	"That is an interesting question that touches on several areas.",
+	"Many sources discuss this topic from different angles.",
+	"It is worth noting that coverage of this subject varies.",
+	"Historians and researchers have written extensively about it.",
+	"There are several aspects to consider before answering fully.",
+	"Context matters a great deal for questions like this.",
+}
+
+// openParametric composes an open-ended answer from memory: filler prose,
+// the believed subset of the support facts, and a few tangents.
+func (s *SimLM) openParametric(question string, intent qa.Intent, req Request) string {
+	var parts []string
+	h := hash64(s.seed, "filler", question)
+	for i := 0; i < s.params.FillerSentences; i++ {
+		idx := int((h >> (uint(i%8) * 7)) % uint64(len(fillerSentences)))
+		parts = append(parts, fillerSentences[idx])
+	}
+	support := s.res.SupportFacts(intent)
+	for _, f := range support {
+		if !coin(s.params.OpenRecallFrac, s.seed, "openrecall", question, strconv.Itoa(f.ID)) {
+			continue
+		}
+		b, known := s.mem.recallFact(f, req.Temperature, req.Nonce)
+		if !known {
+			continue
+		}
+		parts = append(parts, qa.Realize(s.w.Entities[b.Fact.Subject].Name, b.Fact.Rel, b.Object))
+	}
+	// Tangents: facts about unrelated entities the model likes to mention.
+	for i := 0; i < s.params.TangentFacts; i++ {
+		th := hash64(s.seed, "tangent", question, strconv.Itoa(i))
+		f := s.w.Facts[int(th%uint64(len(s.w.Facts)))]
+		if b, known := s.mem.recallFact(f, 0, 0); known {
+			parts = append(parts, "Relatedly, "+qa.Realize(s.w.Entities[f.Subject].Name, f.Rel, b.Object))
+		}
+	}
+	if len(parts) == 0 {
+		return "I do not have enough information about " + intent.Subject + "."
+	}
+	return strings.Join(parts, " ")
+}

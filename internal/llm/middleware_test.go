@@ -1,0 +1,86 @@
+package llm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/prompts"
+)
+
+func TestScriptedClient(t *testing.T) {
+	s := NewScripted().
+		On(prompts.TaskIO, "the answer is {42}.").
+		OnFunc(prompts.TaskCoT, func(p string) (string, error) {
+			if strings.Contains(p, "fail") {
+				return "", errors.New("scripted failure")
+			}
+			return "let me think... {ok}", nil
+		})
+
+	resp, err := s.Complete(Request{Prompt: prompts.IO("q?")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "the answer is {42}." {
+		t.Errorf("IO response = %q", resp.Text)
+	}
+	if resp.Usage.PromptTokens == 0 {
+		t.Error("usage not estimated")
+	}
+
+	if _, err := s.Complete(Request{Prompt: prompts.CoT("please fail")}); err == nil {
+		t.Error("scripted error swallowed")
+	}
+	if _, err := s.Complete(Request{Prompt: prompts.PseudoGraph("q?")}); err == nil {
+		t.Error("unregistered task accepted")
+	}
+	if s.Calls() != 3 {
+		t.Errorf("calls = %d, want 3", s.Calls())
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	inner := NewScripted().On(prompts.TaskIO, "{x}")
+	rec := NewRecorder(inner)
+	if rec.Name() != "scripted" {
+		t.Errorf("Name = %q", rec.Name())
+	}
+	if _, err := rec.Complete(Request{Prompt: prompts.IO("q1?")}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors are recorded too.
+	_, _ = rec.Complete(Request{Prompt: prompts.CoT("q2?")})
+
+	ex := rec.Exchanges()
+	if len(ex) != 2 {
+		t.Fatalf("recorded %d exchanges, want 2", len(ex))
+	}
+	if ex[0].Task != prompts.TaskIO || ex[0].Response.Text != "{x}" {
+		t.Errorf("exchange 0 = %+v", ex[0])
+	}
+	if ex[1].Err == nil {
+		t.Error("exchange 1 should carry the error")
+	}
+	rec.Reset()
+	if len(rec.Exchanges()) != 0 {
+		t.Error("Reset did not clear the transcript")
+	}
+}
+
+func TestRecorderWrapsSimLM(t *testing.T) {
+	sim := newSim(t, GPT35Params())
+	rec := NewRecorder(sim)
+	q := "Where was " + headPerson(sim) + " born?"
+	direct, err := sim.Complete(Request{Prompt: prompts.CoT(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := rec.Complete(Request{Prompt: prompts.CoT(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Text != wrapped.Text {
+		t.Error("Recorder altered the completion")
+	}
+}

@@ -1,0 +1,163 @@
+package llm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cypher"
+	"repro/internal/kg"
+	"repro/internal/prompts"
+	"repro/internal/world"
+)
+
+// decodePseudoGraph runs one generation and decodes it.
+func decodePseudoGraph(t *testing.T, s *SimLM, question string) *kg.Graph {
+	t.Helper()
+	resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph(question)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cypher.Decode(extractFenced(resp.Text))
+	if err != nil {
+		t.Skipf("structural corruption hit this question: %v", err)
+	}
+	return g
+}
+
+// fullKnowledge returns a model that knows everything truthfully and never
+// mangles names — plan-structure tests isolate the shape from the noise.
+func fullKnowledge(t *testing.T, w *world.World) *SimLM {
+	t.Helper()
+	p := GPT4Params()
+	p.KnowBase = 1
+	p.CorruptRate = 0
+	p.CypherErrRate = 0
+	p.RelationDriftRate = 0
+	p.SubjectDriftRate = 0
+	p.OpenPlanSelectivity = 1
+	return NewSim(w, p, 42)
+}
+
+func TestPlanLookupChain(t *testing.T) {
+	w := testWorld(t)
+	s := fullKnowledge(t, w)
+	p := w.Entities[w.OfKind(world.KindPerson)[0]]
+	q := "What is the capital of the country where " + p.Name + " was born?"
+	g := decodePseudoGraph(t, s, q)
+	// The plan must contain the full chain: person->city, city->country,
+	// country->capital (true values, since the model knows everything).
+	city := w.Entities[w.FactsSR(p.ID, world.RelBornIn)[0].Object]
+	country := w.Entities[w.FactsSR(city.ID, world.RelInCountry)[0].Object]
+	capital := w.Entities[w.FactsSR(country.ID, world.RelCapital)[0].Object]
+	if !g.Contains(kg.NewTriple(p.Name, "place of birth", city.Name)) {
+		t.Errorf("plan lacks hop 1:\n%s", g)
+	}
+	if !g.Contains(kg.NewTriple(city.Name, "country", country.Name)) {
+		t.Errorf("plan lacks hop 2:\n%s", g)
+	}
+	if !g.Contains(kg.NewTriple(country.Name, "capital", capital.Name)) {
+		t.Errorf("plan lacks hop 3:\n%s", g)
+	}
+}
+
+func TestPlanCompareCount(t *testing.T) {
+	w := testWorld(t)
+	s := fullKnowledge(t, w)
+	ms := w.OfKind(world.KindMountain)
+	a, b := w.Entities[ms[0]], w.Entities[ms[1]]
+	q := fmt.Sprintf("Who covers more countries, %s or %s?", a.Name, b.Name)
+	g := decodePseudoGraph(t, s, q)
+	// Every covers fact of both subjects must appear (the Fig. 3 example-2
+	// shape).
+	for _, ent := range []world.Entity{a, b} {
+		for _, f := range w.FactsSR(ent.ID, world.RelCovers) {
+			want := kg.NewTriple(ent.Name, "covers country", w.Entities[f.Object].Name)
+			if !g.Contains(want) {
+				t.Errorf("plan lacks %v:\n%s", want, g)
+			}
+		}
+	}
+}
+
+func TestPlanSuperlative(t *testing.T) {
+	w := testWorld(t)
+	s := fullKnowledge(t, w)
+	for _, c := range w.OfKind(world.KindCountry) {
+		var lakes []int
+		for _, f := range w.FactsByRel(world.RelLocatedIn) {
+			if f.ObjectIsEntity() && f.Object == c {
+				lakes = append(lakes, f.Subject)
+			}
+		}
+		if len(lakes) < 2 {
+			continue
+		}
+		q := fmt.Sprintf("Which lake in %s has the largest area?", w.Entities[c].Name)
+		g := decodePseudoGraph(t, s, q)
+		// Every candidate lake must appear with its area (the Fig. 3
+		// example-1 shape).
+		for _, l := range lakes {
+			area, _ := w.CurrentFact(l, world.RelArea)
+			want := kg.NewTriple(w.Entities[l].Name, "area", area.Literal)
+			if !g.Contains(want) {
+				t.Errorf("plan lacks %v:\n%s", want, g)
+			}
+		}
+		return
+	}
+	t.Skip("no country with 2+ lakes")
+}
+
+func TestPlanOpenFieldCoversNotablePeople(t *testing.T) {
+	w := testWorld(t)
+	s := fullKnowledge(t, w)
+	field := w.Entities[w.OfKind(world.KindField)[0]]
+	q := "Who are the most notable researchers in " + field.Name + "?"
+	g := decodePseudoGraph(t, s, q)
+	if g.Len() < 4 {
+		t.Fatalf("open-field plan suspiciously small:\n%s", g)
+	}
+	// All subjects must be people (the support set is person-centric).
+	for _, sub := range g.Subjects() {
+		ent, ok := w.EntityByName(sub)
+		if !ok || ent.Kind != world.KindPerson {
+			t.Errorf("plan subject %q is not a person", sub)
+		}
+	}
+}
+
+func TestPlanSelectivityNarrowsOpenPlans(t *testing.T) {
+	w := testWorld(t)
+	generous := GPT4Params()
+	generous.KnowBase = 1
+	generous.CorruptRate = 0
+	generous.CypherErrRate = 0
+	generous.SubjectDriftRate = 0
+	generous.OpenPlanSelectivity = 1
+	selective := generous
+	selective.OpenPlanSelectivity = 0.2
+
+	field := w.Entities[w.OfKind(world.KindField)[1]]
+	q := "Who are the most notable researchers in " + field.Name + "?"
+	gGen := decodePseudoGraph(t, NewSim(w, generous, 42), q)
+	gSel := decodePseudoGraph(t, NewSim(w, selective, 43), q)
+	if gSel.Len() >= gGen.Len() {
+		t.Errorf("selective plan (%d triples) should be narrower than generous (%d)",
+			gSel.Len(), gGen.Len())
+	}
+}
+
+func TestPlanUnparseableQuestionStillYieldsGraph(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph("gibberish that matches nothing")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cypher.Decode(extractFenced(resp.Text))
+	if err != nil {
+		t.Skip("corruption hit")
+	}
+	if g.Len() == 0 {
+		t.Error("unparseable question should still produce a placeholder plan")
+	}
+}

@@ -1,0 +1,373 @@
+package llm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/prompts"
+	"repro/internal/qa"
+	"repro/internal/world"
+)
+
+// plannedTriple is one statement the model intends to put in its
+// pseudo-graph: subject/object surfaces plus the relation it will phrase.
+type plannedTriple struct {
+	Subject string
+	Rel     world.RelKey
+	Object  string
+	// Literal marks the object as a property value rather than an entity.
+	Literal bool
+}
+
+// planPseudoGraph decides which beliefs go into the pseudo-graph for a
+// question. This is the "Knowledge Planning" step of Fig. 3: the model lays
+// out the knowledge frame it thinks the question needs, filling slots from
+// parametric memory (hallucinations included — the frame is still useful,
+// which is the paper's core insight).
+func (s *SimLM) planPseudoGraph(question string, intent qa.Intent, req Request) []plannedTriple {
+	var plan []plannedTriple
+	add := func(subject string, rel world.RelKey, object string) {
+		info, _ := world.RelByKey(rel)
+		plan = append(plan, plannedTriple{
+			Subject: subject, Rel: rel, Object: object, Literal: info.ObjectLiteral,
+		})
+	}
+
+	// recallOrGuess returns the model's belief for (subject, rel) —
+	// truthful, corrupted, or fabricated — plus every extra value it
+	// believes for multi-valued relations.
+	recallAll := func(subject string, rel world.RelKey, salt string) []string {
+		if ent, ok := s.mem.resolveSubject(subject); ok {
+			beliefs := s.mem.recallSRBoosted(ent.ID, rel, req.Temperature, req.Nonce)
+			if len(beliefs) > 0 {
+				out := make([]string, len(beliefs))
+				for i, b := range beliefs {
+					out[i] = b.Object
+				}
+				return out
+			}
+		}
+		return []string{s.mem.guessForRelation(rel, question, salt)}
+	}
+	recallOne := func(subject string, rel world.RelKey, salt string) string {
+		return recallAll(subject, rel, salt)[0]
+	}
+
+	// enrich adds a couple of context facts about an entity beyond the
+	// chain itself — the breadth that lets semantic retrieval anchor on
+	// the right subject even when the chain value is hallucinated.
+	enrich := func(subject string) {
+		ent, ok := s.mem.resolveSubject(subject)
+		if !ok {
+			return
+		}
+		added := 0
+		for _, f := range s.w.FactsOf(ent.ID) {
+			if added >= 2 {
+				break
+			}
+			if b, known := s.mem.recallFactBoosted(f, req.Temperature, req.Nonce); known {
+				add(subject, f.Rel, b.Object)
+				added++
+			}
+		}
+	}
+
+	switch intent.Kind {
+	case qa.KindLookup:
+		cur := intent.Subject
+		for hop, rel := range intent.Chain {
+			info, _ := world.RelByKey(rel)
+			val := recallOne(cur, rel, "hop"+strconv.Itoa(hop))
+			add(cur, rel, val)
+			if hop == 0 {
+				enrich(cur)
+			}
+			if info.ObjectLiteral {
+				break
+			}
+			cur = val
+		}
+	case qa.KindCompareCount:
+		for si, subject := range []string{intent.Subject, intent.Subject2} {
+			for i, v := range recallAll(subject, intent.Chain[0], "cmp"+strconv.Itoa(si)) {
+				_ = i
+				add(subject, intent.Chain[0], v)
+			}
+		}
+	case qa.KindCompareValue:
+		add(intent.Subject, intent.Chain[0], recallOne(intent.Subject, intent.Chain[0], "a"))
+		add(intent.Subject2, intent.Chain[0], recallOne(intent.Subject2, intent.Chain[0], "b"))
+	case qa.KindSuperlative:
+		// The model lists the candidates it associates with the filter and
+		// their values — exactly the Great Lakes example of Fig. 3.
+		count := 0
+		if filterEnt, ok := s.mem.resolveSubject(intent.Subject); ok {
+			for _, f := range s.w.FactsByRel(intent.FilterRel) {
+				if !f.ObjectIsEntity() || f.Object != filterEnt.ID {
+					continue
+				}
+				if _, known := s.mem.recallFactBoosted(f, req.Temperature, req.Nonce); !known {
+					continue
+				}
+				name := s.w.Entities[f.Subject].Name
+				add(name, intent.FilterRel, intent.Subject)
+				add(name, intent.ValueRel, recallOne(name, intent.ValueRel, "sup"))
+				count++
+			}
+		}
+		if count == 0 {
+			info, _ := world.RelByKey(intent.FilterRel)
+			guess := s.mem.guessEntity(info.SubjectKind, question, "supguess")
+			add(guess, intent.FilterRel, intent.Subject)
+			add(guess, intent.ValueRel, s.mem.guessForRelation(intent.ValueRel, question, "supval"))
+		}
+	case qa.KindOpenProfile, qa.KindOpenList, qa.KindOpenField:
+		// Open questions: write down whichever support facts the model
+		// believes, subject to the grade's selectivity. A cautious model
+		// (GPT-4 grade, low OpenPlanSelectivity) volunteers only what it is
+		// most sure of, so the pseudo-graph alone is *narrower* than a
+		// free-text answer — the Gp regression of Table V.
+		for _, f := range s.res.SupportFacts(intent) {
+			b, known := s.mem.recallFactBoosted(f, req.Temperature, req.Nonce)
+			if !known {
+				continue
+			}
+			if !coin(s.params.OpenPlanSelectivity, s.seed, "planselect", question, strconv.Itoa(f.ID)) {
+				continue
+			}
+			add(s.w.Entities[f.Subject].Name, f.Rel, b.Object)
+		}
+		if len(plan) == 0 {
+			add(intent.Subject, world.RelFieldOfWork,
+				s.mem.guessEntity(world.KindField, question, "openguess"))
+		}
+	}
+	return plan
+}
+
+// completePseudoGraph renders the plan as a Fig. 3-style completion: a
+// short planning paragraph, then a Cypher CREATE program. Structural
+// corruption is injected at the grade's Cypher error rate.
+func (s *SimLM) completePseudoGraph(req Request) (string, error) {
+	question, err := prompts.ExtractTaskQuestion(req.Prompt)
+	if err != nil {
+		return "", err
+	}
+	intent, perr := qa.Parse(question)
+	var plan []plannedTriple
+	if perr == nil {
+		plan = s.planPseudoGraph(question, intent, req)
+	} else {
+		plan = []plannedTriple{{
+			Subject: "Unknown Topic", Rel: world.RelFieldOfWork,
+			Object: s.mem.guessEntity(world.KindField, question, "np"),
+		}}
+	}
+	code := s.renderCypher(question, plan)
+	if coin(s.params.CypherErrRate, s.seed, "cyerr", question, strconv.Itoa(req.Nonce)) {
+		code = corruptCypher(code, hash64(s.seed, "cymode", question))
+	}
+	var b strings.Builder
+	b.WriteString("<step 1> {Knowledge Planning}:\n")
+	b.WriteString("To answer this question I need the entities involved and their key facts.\n")
+	b.WriteString("<step 2> {Knowledge Graph}:\n```\n")
+	b.WriteString(code)
+	b.WriteString("\n```\n")
+	return b.String(), nil
+}
+
+// entitySurface returns the spelling the model writes for an entity name
+// in generated artefacts. Tail entities get mangled at the grade's
+// subject-drift rate scaled by (1 - popularity): the model has seen famous
+// names often enough to spell them, obscure ones it reconstructs badly.
+// A mangled subject defeats both semantic retrieval and verification
+// subject matching — the pipeline's honest tail-entity failure mode.
+func (s *SimLM) entitySurface(name, question string) string {
+	ent, ok := s.mem.resolveSubject(name)
+	if !ok {
+		return name
+	}
+	pop := s.w.Popularity(ent.ID)
+	prob := s.params.SubjectDriftRate * (1 - pop)
+	if !coin(prob, s.seed, "subjdrift", question, name) {
+		return name
+	}
+	return misspell(name, hash64(s.seed, "misspell", question, name))
+}
+
+// misspell mangles a half-remembered name: every substantial token loses
+// syllables from its middle, so the result shares little lexical material
+// with the true surface and semantic retrieval cannot anchor on it.
+func misspell(name string, h uint64) string {
+	tokens := strings.Fields(name)
+	if len(tokens) == 0 {
+		return name
+	}
+	for i, t := range tokens {
+		th := h + uint64(i)*0x9e3779b97f4a7c15
+		if len(t) < 5 {
+			if len(t) >= 3 {
+				tokens[i] = t + "el"
+			}
+			continue
+		}
+		cut := 2 + int(th%uint64(len(t)-4))
+		keep := len(t) - cut - 2
+		if keep < 2 {
+			keep = 2
+		}
+		tokens[i] = t[:keep] + t[len(t)-2:]
+	}
+	return strings.Join(tokens, " ")
+}
+
+// renderCypher emits CREATE statements for the plan: one node per distinct
+// entity (with literal facts as properties) and one relationship per
+// entity-valued fact. Relation surfaces go through relSurface, so drift
+// shows up here.
+func (s *SimLM) renderCypher(question string, plan []plannedTriple) string {
+	var b strings.Builder
+	nodeVar := map[string]string{}
+	varSeq := 0
+	ensureNode := func(name string, label string) string {
+		if v, ok := nodeVar[name]; ok {
+			return v
+		}
+		v := fmt.Sprintf("n%d", varSeq)
+		varSeq++
+		nodeVar[name] = v
+		fmt.Fprintf(&b, "CREATE (%s:%s {name: %s})\n", v, label, cypherString(name))
+		return v
+	}
+	label := func(name string) string {
+		if ent, ok := s.mem.resolveSubject(name); ok {
+			return cypherLabel(ent.Kind.String())
+		}
+		return "Entity"
+	}
+	for _, t := range plan {
+		sv := ensureNode(s.entitySurface(t.Subject, question), label(t.Subject))
+		surface := s.relSurface(t.Rel, question)
+		if t.Literal {
+			fmt.Fprintf(&b, "CREATE (%s)-[:%s]->(v%d:Value {name: %s})\n",
+				sv, cypherRelType(surface), varSeq, cypherString(t.Object))
+			varSeq++
+			continue
+		}
+		ov := ensureNode(s.entitySurface(t.Object, question), label(t.Object))
+		fmt.Fprintf(&b, "CREATE (%s)-[:%s]->(%s)\n", sv, cypherRelType(surface), ov)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// cypherString quotes a string literal for Cypher.
+func cypherString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", `\'`) + "'"
+}
+
+// cypherLabel converts a kind name to a Cypher label ("mountain range" ->
+// "MountainRange").
+func cypherLabel(kind string) string {
+	parts := strings.Fields(kind)
+	for i, p := range parts {
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "")
+}
+
+// cypherRelType converts a relation surface to a Cypher relationship type
+// ("place of birth" -> "PLACE_OF_BIRTH").
+func cypherRelType(surface string) string {
+	return strings.ToUpper(strings.ReplaceAll(strings.TrimSpace(surface), " ", "_"))
+}
+
+// corruptCypher injects one of several structural faults — the 2 % failure
+// mode of the Cypher route.
+func corruptCypher(code string, h uint64) string {
+	switch h % 4 {
+	case 0:
+		// Drop the last closing parenthesis.
+		if i := strings.LastIndexByte(code, ')'); i >= 0 {
+			return code[:i] + code[i+1:]
+		}
+	case 1:
+		// Break an arrow.
+		if i := strings.Index(code, "]->"); i >= 0 {
+			return code[:i] + "]>" + code[i+3:]
+		}
+	case 2:
+		// Unterminated string.
+		if i := strings.LastIndexByte(code, '\''); i >= 0 {
+			return code[:i] + code[i+1:]
+		}
+	default:
+		// Truncate mid-statement.
+		if len(code) > 20 {
+			return code[:len(code)-10]
+		}
+	}
+	return code + "\nCREATE (broken"
+}
+
+// completeDirectTriples renders the plan as bare <s> <r> <o> lines — the
+// direct-generation ablation whose structural validity is only ~75 %.
+// Corruption modes mirror the paper's example of a malformed direct
+// generation ("<Allen Newell> <made Sora>", a two-field line).
+func (s *SimLM) completeDirectTriples(req Request) (string, error) {
+	question, err := prompts.ExtractTaskQuestion(req.Prompt)
+	if err != nil {
+		return "", err
+	}
+	intent, perr := qa.Parse(question)
+	var plan []plannedTriple
+	if perr == nil {
+		plan = s.planPseudoGraph(question, intent, req)
+	}
+	if len(plan) == 0 {
+		plan = []plannedTriple{{
+			Subject: "Unknown Topic", Rel: world.RelFieldOfWork,
+			Object: s.mem.guessEntity(world.KindField, question, "npd"),
+		}}
+	}
+	// Structural corruption strikes per completion (one malformed line
+	// spoils the output), matching how the paper scores validity.
+	corruptAt := -1
+	if coin(s.params.DirectErrRate, s.seed, "direrr", question, strconv.Itoa(req.Nonce)) {
+		corruptAt = int(hash64(s.seed, "dirline", question) % uint64(len(plan)))
+	}
+	var lines []string
+	for i, t := range plan {
+		surface := s.relSurface(t.Rel, question)
+		subj := s.entitySurface(t.Subject, question)
+		obj := t.Object
+		if !t.Literal {
+			obj = s.entitySurface(t.Object, question)
+		}
+		line := fmt.Sprintf("<%s> <%s> <%s>", subj, surface, obj)
+		if i == corruptAt {
+			line = corruptTripleLine(t, surface, hash64(s.seed, "dirmode", question))
+		}
+		lines = append(lines, line)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// corruptTripleLine produces a structurally invalid triple line.
+func corruptTripleLine(t plannedTriple, surface string, h uint64) string {
+	switch h % 4 {
+	case 0:
+		// Two fields: relation and object merged (the paper's example).
+		return fmt.Sprintf("<%s> <%s %s>", t.Subject, surface, t.Object)
+	case 1:
+		// Missing closing bracket.
+		return fmt.Sprintf("<%s> <%s> <%s", t.Subject, surface, t.Object)
+	case 2:
+		// Free-text drift instead of a triple.
+		return fmt.Sprintf("%s has %s of %s", t.Subject, surface, t.Object)
+	default:
+		// Four fields.
+		return fmt.Sprintf("<%s> <%s> <%s> <extra>", t.Subject, surface, t.Object)
+	}
+}

@@ -1,0 +1,435 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cypher"
+	"repro/internal/kg"
+	"repro/internal/metrics"
+	"repro/internal/prompts"
+	"repro/internal/qa"
+	"repro/internal/world"
+)
+
+func testWorld(t testing.TB) *world.World {
+	t.Helper()
+	cfg := world.DefaultConfig()
+	cfg.People = 100
+	cfg.Cities = 40
+	cfg.Countries = 16
+	cfg.Works = 60
+	cfg.Companies = 24
+	cfg.Universities = 12
+	cfg.Lakes = 20
+	cfg.Mountains = 12
+	cfg.Rivers = 20
+	return world.MustGenerate(cfg)
+}
+
+func newSim(t testing.TB, params GradeParams) *SimLM {
+	t.Helper()
+	return NewSim(testWorld(t), params, 42)
+}
+
+func TestCompleteDeterministic(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	req := Request{Prompt: prompts.IO("Where was " + headPerson(s) + " born?")}
+	a, err := s.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Error("Complete not deterministic")
+	}
+}
+
+func headPerson(s *SimLM) string {
+	return s.w.Entities[s.w.OfKind(world.KindPerson)[0]].Name
+}
+
+func tailPerson(s *SimLM) string {
+	people := s.w.OfKind(world.KindPerson)
+	return s.w.Entities[people[len(people)-1]].Name
+}
+
+func TestEmptyPromptRejected(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	if _, err := s.Complete(Request{}); err == nil {
+		t.Error("empty prompt accepted")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	resp, err := s.Complete(Request{Prompt: prompts.IO("Where was " + headPerson(s) + " born?")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Usage.PromptTokens == 0 || resp.Usage.CompletionTokens == 0 {
+		t.Errorf("usage = %+v", resp.Usage)
+	}
+	calls, pt, ct := s.CallStats()
+	if calls != 1 || pt == 0 || ct == 0 {
+		t.Errorf("stats = %d %d %d", calls, pt, ct)
+	}
+}
+
+// TestGradeKnowledgeGap: over the whole fact population, the GPT-4 grade
+// must know measurably more facts and hold fewer corrupted beliefs than
+// the GPT-3.5 grade (per-question accuracy comparisons at this scale are
+// noise-dominated; the memory gates are the ground truth of the claim).
+func TestGradeKnowledgeGap(t *testing.T) {
+	w := testWorld(t)
+	g35 := NewSim(w, GPT35Params(), 42)
+	g4 := NewSim(w, GPT4Params(), 42)
+	var know35, know4, correct35, correct4 int
+	for _, f := range w.Facts {
+		if b, ok := g35.mem.recallFact(f, 0, 0); ok {
+			know35++
+			if b.Correct {
+				correct35++
+			}
+		}
+		if b, ok := g4.mem.recallFact(f, 0, 0); ok {
+			know4++
+			if b.Correct {
+				correct4++
+			}
+		}
+	}
+	if know4 <= know35 {
+		t.Errorf("GPT-4 grade knows %d facts, GPT-3.5 knows %d — want strictly more", know4, know35)
+	}
+	if correct4 <= correct35 {
+		t.Errorf("GPT-4 grade correct on %d facts, GPT-3.5 on %d", correct4, correct35)
+	}
+	// Corruption rates: GPT-4's conditional error rate must be lower.
+	err35 := 1 - float64(correct35)/float64(know35)
+	err4 := 1 - float64(correct4)/float64(know4)
+	if err4 >= err35 {
+		t.Errorf("GPT-4 corruption rate %.3f should be below GPT-3.5's %.3f", err4, err35)
+	}
+}
+
+// TestPopularityEffect: head entities must be answered correctly more often
+// than tail entities.
+func TestPopularityEffect(t *testing.T) {
+	w := testWorld(t)
+	s := NewSim(w, GPT35Params(), 42)
+	res := &qa.Resolver{W: w}
+	people := w.OfKind(world.KindPerson)
+	headRight, tailRight := 0, 0
+	n := len(people) / 4
+	score := func(ids []int) int {
+		right := 0
+		for _, p := range ids {
+			name := w.Entities[p].Name
+			in := qa.Intent{Kind: qa.KindLookup, Subject: name, Chain: []world.RelKey{world.RelBornIn}}
+			golds, _ := res.Gold(in)
+			resp, err := s.Complete(Request{Prompt: prompts.CoT("Where was " + name + " born?")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if metrics.Hit1(resp.Text, golds) > 0 {
+				right++
+			}
+		}
+		return right
+	}
+	headRight = score(people[:n])
+	tailRight = score(people[len(people)-n:])
+	if headRight <= tailRight {
+		t.Errorf("head accuracy (%d/%d) should exceed tail accuracy (%d/%d)",
+			headRight, n, tailRight, n)
+	}
+}
+
+func TestPseudoGraphDecodes(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	q := "Where was " + headPerson(s) + " born?"
+	resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Text, "CREATE") {
+		t.Fatalf("pseudo-graph completion lacks Cypher:\n%s", resp.Text)
+	}
+	code := extractFenced(resp.Text)
+	g, err := cypher.Decode(code)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, code)
+	}
+	if g.Len() == 0 {
+		t.Error("pseudo-graph decoded to zero triples")
+	}
+}
+
+func extractFenced(text string) string {
+	i := strings.Index(text, "```")
+	rest := text[i+3:]
+	j := strings.Index(rest, "```")
+	return rest[:j]
+}
+
+// TestPseudoGraphStructuralRates: over many questions, the Cypher route
+// must be structurally valid far more often than the direct route.
+func TestPseudoGraphStructuralRates(t *testing.T) {
+	w := testWorld(t)
+	s := NewSim(w, GPT35Params(), 42)
+	people := w.OfKind(world.KindPerson)
+	cyOK, dirOK, n := 0, 0, 0
+	for _, p := range people {
+		name := w.Entities[p].Name
+		q := "Which award did " + name + " receive?"
+		n++
+		resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph(q)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cypher.Validate(extractFenced(resp.Text)) {
+			cyOK++
+		}
+		resp, err = s.Complete(Request{Prompt: prompts.DirectTriples(q)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid := true
+		lines := 0
+		for _, line := range strings.Split(resp.Text, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			lines++
+			if _, perr := kg.ParseTriple(line); perr != nil {
+				valid = false
+			}
+		}
+		if valid && lines > 0 {
+			dirOK++
+		}
+	}
+	cyRate := float64(cyOK) / float64(n)
+	dirRate := float64(dirOK) / float64(n)
+	if cyRate < 0.9 {
+		t.Errorf("Cypher validity %.2f, want >= 0.9", cyRate)
+	}
+	if dirRate > cyRate-0.1 {
+		t.Errorf("direct validity %.2f should trail Cypher validity %.2f by >= 0.1", dirRate, cyRate)
+	}
+}
+
+// TestVerifyFixesPaperExample reproduces Fig. 4's China-population case:
+// the drifted pseudo-triple must be replaced with the latest gold value.
+func TestVerifyFixesPaperExample(t *testing.T) {
+	s := newSim(t, GPT4Params())
+	city := s.w.Entities[s.w.OfKind(world.KindCity)[0]]
+	pops := s.w.FactsSR(city.ID, world.RelPopulation)
+	latest := pops[len(pops)-1].Literal
+	var gold strings.Builder
+	gold.WriteString("[entity_0]:\n")
+	for _, f := range pops {
+		gold.WriteString("<" + city.Name + "> <population> <" + f.Literal + ">\n")
+	}
+	toFix := "<" + city.Name + "> <Number of population> <99999999>"
+	prompt := prompts.Verify("What is the population of "+city.Name+"?", gold.String(), toFix)
+	resp, err := s.Complete(Request{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := kg.ParseGraph(resp.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.Contains(kg.NewTriple(city.Name, "population", latest)) {
+		t.Errorf("verification did not pick the latest gold value:\n%s", resp.Text)
+	}
+	if strings.Contains(resp.Text, "99999999") {
+		t.Errorf("hallucinated value survived verification:\n%s", resp.Text)
+	}
+}
+
+func TestVerifyDeletesUnsupported(t *testing.T) {
+	s := newSim(t, GPT4Params())
+	gold := "[entity_0]:\n<Lake Superior> <area> <82350>"
+	toFix := "<Lake Superior> <area> <82000>\n<Dongting Lake> <area> <259430>"
+	prompt := prompts.Verify("Which lake is largest?", gold, toFix)
+	resp, err := s.Complete(Request{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp.Text, "Dongting") {
+		t.Errorf("unsupported subject survived:\n%s", resp.Text)
+	}
+	if !strings.Contains(resp.Text, "82350") {
+		t.Errorf("gold value missing:\n%s", resp.Text)
+	}
+}
+
+func TestGraphQAWalksChain(t *testing.T) {
+	s := newSim(t, GPT4Params())
+	// Build a graph answering a 2-hop question with surfaces unknown to
+	// the model's memory path (pure graph reading).
+	p := headPerson(s)
+	ent, _ := s.w.EntityByName(p)
+	city := s.w.Entities[s.w.FactsSR(ent.ID, world.RelBornIn)[0].Object]
+	country := s.w.Entities[s.w.FactsSR(city.ID, world.RelInCountry)[0].Object]
+	graph := "<" + p + "> <place of birth> <" + city.Name + ">\n" +
+		"<" + city.Name + "> <country> <" + country.Name + ">"
+	q := "In which country is the city where " + p + " is headquartered?" // wrong template for person
+	_ = q
+	// Use a template that parses to born->country... there is none 2-hop;
+	// use population instead: single-hop via graph.
+	prompt := prompts.AnswerFromGraph("Where was "+p+" born?", graph)
+	resp, err := s.Complete(Request{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.ExtractMarked(resp.Text) != city.Name {
+		t.Errorf("graph walk answer = %q, want %q", resp.Text, city.Name)
+	}
+}
+
+func TestGraphQAPicksLatestTimeVarying(t *testing.T) {
+	s := newSim(t, GPT4Params())
+	graph := "<Xcity> <population> <100>\n<Xcity> <population> <200>\n<Xcity> <population> <300>"
+	prompt := prompts.AnswerFromGraph("What is the population of Xcity?", graph)
+	resp, err := s.Complete(Request{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.ExtractMarked(resp.Text) != "300" {
+		t.Errorf("time-varying answer = %q, want 300", resp.Text)
+	}
+}
+
+func TestGraphQAEmptyGraphFallsBackToParametric(t *testing.T) {
+	s := newSim(t, GPT4Params())
+	p := headPerson(s)
+	prompt := prompts.AnswerFromGraph("Where was "+p+" born?", "")
+	resp, err := s.Complete(Request{Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.ExtractMarked(resp.Text) == "" {
+		t.Errorf("no answer produced: %q", resp.Text)
+	}
+}
+
+func TestSCTemperatureVariation(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	// Across many tail questions and nonces, at least one sampled answer
+	// must differ from the greedy one (temperature noise is real).
+	varied := false
+	people := s.w.OfKind(world.KindPerson)
+	for _, p := range people[len(people)-20:] {
+		q := "Where was " + s.w.Entities[p].Name + " born?"
+		greedy, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nonce := 0; nonce < 3; nonce++ {
+			sampled, err := s.Complete(Request{Prompt: prompts.CoT(q), Temperature: 0.7, Nonce: nonce})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sampled.Text != greedy.Text {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Error("temperature sampling produced no variation at all")
+	}
+}
+
+func TestScoreRelsParse(t *testing.T) {
+	s := newSim(t, GPT35Params())
+	rels := []string{"people/person/place_of_birth", "people/person/profession", "award/award_winner/awards_won"}
+	resp, err := s.Complete(Request{Prompt: prompts.ScoreRelations("Where was X born?", rels)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := ParseRelScores(resp.Text)
+	if len(scores) != len(rels) {
+		t.Fatalf("parsed %d scores, want %d:\n%s", len(scores), len(rels), resp.Text)
+	}
+	for rel, sc := range scores {
+		if sc < 0 || sc > 1 {
+			t.Errorf("score for %q out of range: %v", rel, sc)
+		}
+	}
+}
+
+func TestOpenAnswerMentionsSubjectFacts(t *testing.T) {
+	s := newSim(t, GPT4Params())
+	field := s.w.Entities[s.w.OfKind(world.KindField)[0]].Name
+	q := "Who are the most notable researchers in " + field + "?"
+	resp, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Text, field) {
+		t.Errorf("open answer never mentions the field:\n%s", resp.Text)
+	}
+}
+
+func TestMisspellChangesName(t *testing.T) {
+	for i, name := range []string{"Griadortrianburg", "Thealeprurk Stadreltorndman", "Bob"} {
+		got := misspell(name, uint64(i*7+3))
+		if name == "Bob" {
+			continue // too short to mangle meaningfully
+		}
+		if got == name {
+			t.Errorf("misspell(%q) unchanged", name)
+		}
+	}
+}
+
+func TestDistortLiteral(t *testing.T) {
+	if got := distortLiteral("1927-09-04", 5); got == "1927-09-04" || len(got) != 10 {
+		t.Errorf("date distortion = %q", got)
+	}
+	if got := distortLiteral("1000000", 5); got == "1000000" {
+		t.Error("number distortion unchanged")
+	}
+	if got := distortLiteral("not a number", 5); got == "not a number" {
+		t.Error("text distortion unchanged")
+	}
+}
+
+func TestMemoryNoTruthLeak(t *testing.T) {
+	// Unknown tail questions must be answered wrongly most of the time —
+	// the model may never bypass its knowledge gates.
+	w := testWorld(t)
+	weak := GPT35Params()
+	weak.KnowBase = 0
+	weak.KnowPopWeight = 0
+	weak.PlanActivation = 0
+	s := NewSim(w, weak, 42)
+	res := &qa.Resolver{W: w}
+	right := 0
+	people := w.OfKind(world.KindPerson)
+	for _, p := range people {
+		name := w.Entities[p].Name
+		in := qa.Intent{Kind: qa.KindLookup, Subject: name, Chain: []world.RelKey{world.RelBornIn}}
+		golds, _ := res.Gold(in)
+		resp, err := s.Complete(Request{Prompt: prompts.IO("Where was " + name + " born?")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if metrics.Hit1(resp.Text, golds) > 0 {
+			right++
+		}
+	}
+	// A zero-knowledge model guessing cities can fluke occasionally; more
+	// than ~15 % accuracy would mean truth is leaking.
+	if float64(right) > 0.15*float64(len(people)) {
+		t.Errorf("zero-knowledge model answered %d/%d correctly — truth leak", right, len(people))
+	}
+}

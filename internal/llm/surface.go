@@ -1,0 +1,244 @@
+package llm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/prompts"
+	"repro/internal/world"
+)
+
+// naturalSurface is the model's own phrasing for each relation — the
+// vocabulary a web-trained LLM would use, which happens to align with
+// Wikidata property labels. Pseudo-triples are emitted in this vocabulary
+// regardless of which KG will be queried; the atomic semantic query is what
+// bridges the gap to Freebase-style paths (Table III's premise).
+var naturalSurface = map[world.RelKey]string{
+	world.RelBornIn:       "place of birth",
+	world.RelBirthDate:    "date of birth",
+	world.RelOccupation:   "occupation",
+	world.RelAward:        "award received",
+	world.RelEducatedAt:   "educated at",
+	world.RelFieldOfWork:  "field of work",
+	world.RelNotableWork:  "notable work",
+	world.RelCitizenOf:    "country of citizenship",
+	world.RelInCountry:    "country",
+	world.RelPopulation:   "population",
+	world.RelCapital:      "capital",
+	world.RelContinent:    "continent",
+	world.RelOfficialLang: "official language",
+	world.RelArea:         "area",
+	world.RelLocatedIn:    "country",
+	world.RelInflow:       "inflows",
+	world.RelCovers:       "covers country",
+	world.RelElevation:    "elevation above sea level",
+	world.RelFlowsThrough: "basin country",
+	world.RelLength:       "length",
+	world.RelFoundedBy:    "founded by",
+	world.RelHeadquarters: "headquarters location",
+	world.RelIndustry:     "industry",
+	world.RelProduct:      "product or material produced",
+	world.RelUnivIn:       "located in city",
+	world.RelInception:    "inception",
+	world.RelCreator:      "creator",
+	world.RelGenre:        "genre",
+	world.RelPubYear:      "publication date",
+	world.RelAwardFor:     "field",
+}
+
+// driftSurface is the off-vocabulary phrasing used when relation drift
+// strikes: paraphrases that share few or no tokens with the schema labels,
+// weakening semantic matching downstream. "Number of population" is taken
+// verbatim from the paper's Fig. 4 example of a drifted pseudo-triple.
+var driftSurface = map[world.RelKey]string{
+	world.RelBornIn:       "birthplace",
+	world.RelBirthDate:    "born on",
+	world.RelOccupation:   "job",
+	world.RelAward:        "prize won",
+	world.RelEducatedAt:   "alma mater",
+	world.RelFieldOfWork:  "specialty",
+	world.RelNotableWork:  "famous creation",
+	world.RelCitizenOf:    "nationality",
+	world.RelInCountry:    "belongs to nation",
+	world.RelPopulation:   "number of population",
+	world.RelCapital:      "chief city",
+	world.RelContinent:    "landmass",
+	world.RelOfficialLang: "speaks",
+	world.RelArea:         "size",
+	world.RelLocatedIn:    "situated within",
+	world.RelInflow:       "fed by",
+	world.RelCovers:       "spans",
+	world.RelElevation:    "height",
+	world.RelFlowsThrough: "passes",
+	world.RelLength:       "extent",
+	world.RelFoundedBy:    "started by",
+	world.RelHeadquarters: "based at",
+	world.RelIndustry:     "sector",
+	world.RelProduct:      "makes",
+	world.RelUnivIn:       "campus city",
+	world.RelInception:    "founding year",
+	world.RelCreator:      "made by",
+	world.RelGenre:        "category",
+	world.RelPubYear:      "came out in",
+	world.RelAwardFor:     "honours the area of",
+}
+
+// relSurface returns the phrasing the model uses for a relation in a given
+// question's pseudo-graph, applying deterministic relation drift.
+func (s *SimLM) relSurface(rel world.RelKey, question string) string {
+	if coin(s.params.RelationDriftRate, s.seed, "drift", question, string(rel)) {
+		if d, ok := driftSurface[rel]; ok {
+			return d
+		}
+	}
+	if n, ok := naturalSurface[rel]; ok {
+		return n
+	}
+	return strings.ReplaceAll(string(rel), "_", " ")
+}
+
+// relTokenSim is the token-level Jaccard similarity between two relation
+// surfaces — SimLM's proxy for "reading" whether two relation phrases mean
+// the same thing. Schema punctuation tokenises away, so "place of birth"
+// vs "people/person/place_of_birth" scores high.
+func relTokenSim(a, b string) float64 {
+	ta := embed.Tokenize(a)
+	tb := embed.Tokenize(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(ta))
+	for _, t := range ta {
+		set[t] = true
+	}
+	inter := 0
+	union := len(set)
+	seen := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if set[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// relMatchThreshold is the overlap-coefficient floor for fuzzy relation
+// reading. The overlap coefficient (|A∩B| / min(|A|,|B|)) rather than
+// Jaccard keeps Freebase path namespaces ("organization/organization/
+// headquarters" vs "headquarters location") from drowning the shared
+// content tokens; 0.5 admits the paper's Fig. 4 drift example ("Number of
+// population" vs "population") while rejecting unrelated relations.
+const relMatchThreshold = 0.50
+
+// relOverlapSim is the token overlap coefficient between two relation
+// surfaces: the fraction of the smaller surface's tokens found in the
+// larger. This is SimLM's proxy for an LLM reading two relation phrasings
+// as equivalent.
+func relOverlapSim(a, b string) float64 {
+	ta := embed.Tokenize(a)
+	tb := embed.Tokenize(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sa := make(map[string]bool, len(ta))
+	for _, t := range ta {
+		sa[t] = true
+	}
+	sb := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		sb[t] = true
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa))
+}
+
+// relMatches reports whether a graph triple's relation surface plausibly
+// realises the canonical relation. A surface that resolves exactly to a
+// schema relation is authoritative (no fuzzy fallback) — except that
+// relations sharing a label (both city-in-country and lake-in-country
+// render as "country") are indistinguishable at surface level and match
+// each other.
+func relMatches(surface string, rel world.RelKey) bool {
+	if k, ok := world.SurfaceToRel(surface); ok {
+		if k == rel {
+			return true
+		}
+		return naturalSurface[k] != "" && naturalSurface[k] == naturalSurface[rel]
+	}
+	if n, ok := naturalSurface[rel]; ok && relOverlapSim(surface, n) >= relMatchThreshold {
+		return true
+	}
+	if d, ok := driftSurface[rel]; ok && strings.EqualFold(strings.TrimSpace(surface), d) {
+		return true
+	}
+	return relOverlapSim(surface, strings.ReplaceAll(string(rel), "_", " ")) >= relMatchThreshold
+}
+
+// parseNumeric extracts a numeric value from a literal surface.
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.ReplaceAll(s, ",", ""))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// completeScoreRels handles the ToG relation-pruning task: score each
+// candidate relation's relevance to the question. The model's judgement is
+// its token-overlap reading of the relation surface against the question,
+// plus grade-scaled noise — GPT-4-grade exploration is steadier than
+// GPT-3.5-grade, which is what separates their ToG rows in Table II.
+func (s *SimLM) completeScoreRels(req Request) (string, error) {
+	question, rels, err := prompts.ExtractScoreRelations(req.Prompt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, rel := range rels {
+		base := relTokenSim(question, rel)
+		noise := (unit(hash64(s.seed, "relscore", question, rel)) - 0.5) * s.params.RelScoreNoise
+		score := base + noise
+		if score < 0 {
+			score = 0
+		}
+		if score > 1 {
+			score = 1
+		}
+		fmt.Fprintf(&b, "%s\t%.4f\n", rel, score)
+	}
+	return b.String(), nil
+}
+
+// ParseRelScores parses a completeScoreRels completion back into a
+// relation→score map (exported for the ToG baseline).
+func ParseRelScores(completion string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(completion, "\n") {
+		line = strings.TrimSpace(line)
+		i := strings.LastIndexByte(line, '\t')
+		if i <= 0 {
+			continue
+		}
+		if v, ok := parseNumeric(line[i+1:]); ok {
+			out[line[:i]] = v
+		}
+	}
+	return out
+}

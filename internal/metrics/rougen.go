@@ -1,0 +1,61 @@
+package metrics
+
+// RougeN returns the ROUGE-N precision, recall and F1 of a candidate
+// against a reference for n-gram order n (Lin 2004). The paper evaluates
+// with ROUGE-L; ROUGE-1/2 are provided for analysis parity with standard
+// summarisation tooling.
+func RougeN(candidate, reference string, n int) (precision, recall, f1 float64) {
+	if n < 1 {
+		return 0, 0, 0
+	}
+	c := ngrams(TokenizeWords(candidate), n)
+	r := ngrams(TokenizeWords(reference), n)
+	if len(c) == 0 || len(r) == 0 {
+		return 0, 0, 0
+	}
+	overlap := 0
+	seen := make(map[string]int, len(r))
+	for _, g := range r {
+		seen[g]++
+	}
+	for _, g := range c {
+		if seen[g] > 0 {
+			seen[g]--
+			overlap++
+		}
+	}
+	precision = float64(overlap) / float64(len(c))
+	recall = float64(overlap) / float64(len(r))
+	if precision+recall == 0 {
+		return precision, recall, 0
+	}
+	f1 = 2 * precision * recall / (precision + recall)
+	return precision, recall, f1
+}
+
+// RougeNMulti returns the best ROUGE-N F1 over multiple references.
+func RougeNMulti(candidate string, references []string, n int) float64 {
+	best := 0.0
+	for _, ref := range references {
+		if _, _, f1 := RougeN(candidate, ref, n); f1 > best {
+			best = f1
+		}
+	}
+	return best
+}
+
+// ngrams returns the n-grams of a token sequence as joined strings.
+func ngrams(tokens []string, n int) []string {
+	if len(tokens) < n {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		g := tokens[i]
+		for j := 1; j < n; j++ {
+			g += "\x00" + tokens[i+j]
+		}
+		out = append(out, g)
+	}
+	return out
+}

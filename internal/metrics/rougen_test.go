@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRougeNIdentical(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		p, r, f1 := RougeN("a b c d", "a b c d", n)
+		if p != 1 || r != 1 || f1 != 1 {
+			t.Errorf("n=%d: identical scored p=%v r=%v f1=%v", n, p, r, f1)
+		}
+	}
+}
+
+func TestRougeNKnownValues(t *testing.T) {
+	// candidate "the cat sat", reference "the cat ran": unigram overlap
+	// 2/3; bigram overlap 1/2.
+	p1, r1, _ := RougeN("the cat sat", "the cat ran", 1)
+	if math.Abs(p1-2.0/3) > 1e-9 || math.Abs(r1-2.0/3) > 1e-9 {
+		t.Errorf("rouge-1 p=%v r=%v", p1, r1)
+	}
+	p2, _, _ := RougeN("the cat sat", "the cat ran", 2)
+	if math.Abs(p2-0.5) > 1e-9 {
+		t.Errorf("rouge-2 p=%v", p2)
+	}
+}
+
+func TestRougeNClippedCounts(t *testing.T) {
+	// Repeated candidate n-grams must be clipped to the reference count.
+	p, _, _ := RougeN("a a a a", "a b", 1)
+	if math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("clipped precision = %v, want 0.25", p)
+	}
+}
+
+func TestRougeNEdgeCases(t *testing.T) {
+	if _, _, f1 := RougeN("", "a", 1); f1 != 0 {
+		t.Error("empty candidate")
+	}
+	if _, _, f1 := RougeN("a", "", 1); f1 != 0 {
+		t.Error("empty reference")
+	}
+	if _, _, f1 := RougeN("a", "a", 0); f1 != 0 {
+		t.Error("n=0 should score 0")
+	}
+	if _, _, f1 := RougeN("a", "a b c", 2); f1 != 0 {
+		t.Error("candidate shorter than n should score 0")
+	}
+}
+
+func TestRougeNMulti(t *testing.T) {
+	if RougeNMulti("a b", []string{"x y", "a b"}, 1) != 1 {
+		t.Error("multi should take the best reference")
+	}
+	if RougeNMulti("a b", nil, 1) != 0 {
+		t.Error("no references should score 0")
+	}
+}
+
+// Properties: bounded, symmetric swap of precision/recall, and ROUGE-1 F1
+// never below ROUGE-2 F1 for identical text pairs (higher orders are
+// strictly harder).
+func TestRougeNProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		p1, r1, f1 := RougeN(a, b, 1)
+		p2, r2, f2 := RougeN(b, a, 1)
+		if f1 < 0 || f1 > 1.000001 {
+			return false
+		}
+		if math.Abs(p1-r2) > 1e-9 || math.Abs(r1-p2) > 1e-9 || math.Abs(f1-f2) > 1e-9 {
+			return false
+		}
+		_, _, g2 := RougeN(a, b, 2)
+		return g2 <= f1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

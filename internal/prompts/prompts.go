@@ -1,0 +1,387 @@
+// Package prompts holds the paper's prompt templates (Figs. 3, 4, 5 plus
+// the IO/CoT baselines' formats) and the helpers that assemble and parse
+// them. Both the real pipeline (internal/core, internal/baselines) and the
+// simulated LLM (internal/llm) work purely through these textual prompts:
+// the model sees exactly what a GPT endpoint would see, and callers parse
+// exactly what a GPT endpoint would return. Keeping the interface textual
+// is what makes the Fig. 2 structural-validity experiment meaningful.
+package prompts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markers used by the simulated model to recognise the task. They occur
+// naturally in the paper's prompt texts.
+const (
+	MarkerCypher   = "with (Cypher)"
+	MarkerDirect   = "write the triples directly"
+	MarkerVerify   = `"graph to fix"`
+	MarkerGraphQA  = "[graph]:"
+	MarkerCoT      = "think step by step"
+	MarkerProblem  = "[problem]:"
+	MarkerQuestion = "{Question}:"
+	MarkerGold     = `"gold graph":`
+	MarkerToFix    = `"graph to fix":`
+	MarkerFixed    = `"Fixed graph":`
+	MarkerAnswer   = "[answer]:"
+)
+
+// pseudoGraphExamples reproduces the two in-context examples of Fig. 3
+// (abridged as in the paper, which omits part of the generated code).
+const pseudoGraphExamples = `[Example 1]:
+{Question}: Who has the largest area of the Great Lakes in the United States?
+<step 1> {Knowledge Planning}:
+To answer the question we need the Great Lakes, their individual areas, and the states they are located in.
+<step 2> {Knowledge Graph}:
+CREATE (superior:Lake {name: 'Lake Superior', area: 82000})
+CREATE (michigan:Lake {name: 'Lake Michigan', area: 58000})
+CREATE (huron:Lake {name: 'Lake Huron', area: 23000})
+CREATE (ontario:Lake {name: 'Lake Ontario', area: 19000})
+CREATE (erie:Lake {name: 'Lake Erie', area: 9600})
+[Example 2]:
+{Question}: Who covers more countries, the Andes or the Himalayas?
+<step 1> {Knowledge Planning}:
+I need the Andes and the Himalayas, and the countries they span.
+<step 2> {Knowledge Graph}:
+CREATE (andes:MountainRange {name: "Andes"})
+CREATE (himalayas:MountainRange {name: "Himalayas"})
+CREATE (andes)-[:COVERS]->(ecuador:Country {name: "Ecuador"})
+CREATE (andes)-[:COVERS]->(peru:Country {name: "Peru"})
+CREATE (himalayas)-[:COVERS]->(india:Country {name: "India"})
+CREATE (himalayas)-[:COVERS]->(nepal:Country {name: "Nepal"})
+`
+
+// PseudoGraph builds the Fig. 3 prompt: plan knowledge, then emit a Cypher
+// knowledge graph for the question.
+func PseudoGraph(question string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\n")
+	b.WriteString("You should answer the {Question} in the following steps:\n")
+	b.WriteString("<step 1> Find out what {Knowledge Planning} you need to solve the {Question}\n")
+	b.WriteString("<step 2> Strictly fill the {Knowledge Planning} to construct the {Knowledge Graph} as complete as possible " + MarkerCypher + "\n")
+	b.WriteString(pseudoGraphExamples)
+	b.WriteString("[Task]:\n")
+	b.WriteString(MarkerQuestion + " " + question + "\n")
+	return b.String()
+}
+
+// DirectTriples builds the ablation prompt that asks for bare triples
+// instead of Cypher — the "direct generation" route whose structural
+// accuracy the paper measures at ~75 % versus ~98 % for the Cypher route.
+func DirectTriples(question string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\n")
+	b.WriteString("You should answer the {Question} by listing the facts you need. ")
+	b.WriteString("Please " + MarkerDirect + " in the form <subject> <relation> <object>, one per line.\n")
+	b.WriteString("[Example 1]:\n")
+	b.WriteString(MarkerQuestion + " Who has the largest area of the Great Lakes in the United States?\n")
+	b.WriteString("<Lake Superior> <area> <82000>\n<Lake Michigan> <area> <58000>\n<Lake Huron> <area> <23000>\n")
+	b.WriteString("[Example 2]:\n")
+	b.WriteString(MarkerQuestion + " Who covers more countries, the Andes or the Himalayas?\n")
+	b.WriteString("<Andes> <covers> <Peru>\n<Andes> <covers> <Chile>\n<Himalayas> <covers> <India>\n<Himalayas> <covers> <Nepal>\n")
+	b.WriteString("[Task]:\n")
+	b.WriteString(MarkerQuestion + " " + question + "\n")
+	return b.String()
+}
+
+// verifyExamples reproduces the two Fig. 4 in-context examples (abridged).
+const verifyExamples = `[Example]:
+[problem]: "Who has the largest area of the Great Lakes in the United States?"
+"gold graph":
+[entity_0]:
+<Lake Superior> <area> <82350>
+<Lake Superior> <connects with> <Keweenaw Waterway>
+[entity_1]:
+<Lake Michigan> <area> <57750>
+"graph to fix":
+<Lake Superior> <AREA> <82000>
+<Lake Michigan> <AREA> <58000>
+<Dongting Lake> <AREA> <259430>
+"Fixed graph":
+<Lake Superior> <area> <82350>
+<Lake Michigan> <area> <57750>
+[Example]:
+[problem]: "What is the population of China?"
+"gold graph":
+[entity_0]:
+<China> <population> <1375198619>
+<China> <population> <1443497378>
+"graph to fix":
+<China> <Number of population> <1463725000>
+"Fixed graph":
+<China> <population> <1443497378>
+`
+
+// Verify builds the Fig. 4 prompt: fix the pseudo-graph against the gold
+// graph. goldGraph should already be rendered in [entity_i] blocks with
+// higher-confidence subjects first (the paper places them closer to Gp).
+func Verify(problem, goldGraph, graphToFix string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\n")
+	b.WriteString(`Please based the "gold graph" below deleting redundant content from "graph to fix" and adding missing content to help me solve the [problem].` + "\n")
+	b.WriteString(verifyExamples)
+	b.WriteString("[Task]:\n")
+	b.WriteString(`If "graph to fix" has triples that are not in the "gold graph", just delete them! If they conflict, replace them with the ones in the "gold graph". For time-varying triples the "gold graph" lists values in chronological order, so pick the last one.` + "\n")
+	b.WriteString(MarkerProblem + " \"" + problem + "\"\n")
+	b.WriteString(MarkerGold + "\n" + goldGraph + "\n")
+	b.WriteString(MarkerToFix + "\n" + graphToFix + "\n")
+	b.WriteString(MarkerFixed + "\n")
+	return b.String()
+}
+
+// answerExamples reproduces the Fig. 5 in-context examples.
+const answerExamples = `[Example]:
+[problem]: "What is the population of China?"
+[graph]:
+<China> <population> <1442965000>
+<China> <population> <1443497378>
+[answer]: Based on the [graph] above, the population of China is {1443497378}.
+[Example]:
+[problem]: "Who has the largest area of the Great Lakes in the United States?"
+[graph]:
+<Lake Superior> <area> <82350>
+<Lake Michigan> <area> <57750>
+[answer]: Based on the [graph] above, the largest of the Great Lakes is {Lake Superior} which area is 82,350.
+`
+
+// AnswerFromGraph builds the Fig. 5 prompt: answer the problem from the
+// graph, marking the answer entity with {...}; with an empty graph the
+// model may use its own knowledge.
+func AnswerFromGraph(problem, graph string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\n")
+	b.WriteString("Please use the [graph] below to answer the [problem]. You need to mark your answer with \"{ }\".\n")
+	b.WriteString(answerExamples)
+	b.WriteString("[Task]:\n")
+	b.WriteString("For time-varying triples the [graph] lists values in chronological order, so pick the last one. If [graph] has no triples, answer with your own knowledge.\n")
+	b.WriteString(MarkerProblem + " \"" + problem + "\"\n")
+	b.WriteString(MarkerGraphQA + "\n" + graph + "\n")
+	b.WriteString(MarkerAnswer + " ")
+	return b.String()
+}
+
+// ioExamples are the six in-context examples the paper uses for the IO
+// baseline.
+var ioExamples = []string{
+	`[problem]: "What is the capital of France?"` + "\n[answer]: The capital of France is {Paris}.",
+	`[problem]: "Who wrote Hamlet?"` + "\n[answer]: Hamlet was written by {William Shakespeare}.",
+	`[problem]: "What is the population of China?"` + "\n[answer]: The population of China is {1443497378}.",
+	`[problem]: "Which river flows through Cairo?"` + "\n[answer]: The river that flows through Cairo is the {Nile}.",
+	`[problem]: "When was the University of Oxford established?"` + "\n[answer]: The University of Oxford was established in {1096}.",
+	`[problem]: "Who founded Microsoft?"` + "\n[answer]: Microsoft was founded by {Bill Gates}.",
+}
+
+// IO builds the standard input-output prompt with six in-context examples.
+func IO(question string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\nAnswer the [problem]. Mark your answer with \"{ }\".\n")
+	for _, ex := range ioExamples {
+		b.WriteString("[Example]:\n" + ex + "\n")
+	}
+	b.WriteString("[Task]:\n" + MarkerProblem + " \"" + question + "\"\n" + MarkerAnswer + " ")
+	return b.String()
+}
+
+// CoT builds the chain-of-thought prompt: six examples with explicit
+// reasoning, then "let's think step by step".
+func CoT(question string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\nAnswer the [problem]. First reason, then mark your answer with \"{ }\". Let's " + MarkerCoT + ".\n")
+	for _, ex := range ioExamples {
+		b.WriteString("[Example]:\n" + ex + "\n")
+	}
+	b.WriteString("[Task]:\n" + MarkerProblem + " \"" + question + "\"\n" + MarkerAnswer + " ")
+	return b.String()
+}
+
+// ExtractTaskQuestion pulls the question out of a PseudoGraph or
+// DirectTriples prompt: the text after the final "{Question}:" marker.
+func ExtractTaskQuestion(prompt string) (string, error) {
+	i := strings.LastIndex(prompt, MarkerQuestion)
+	if i < 0 {
+		return "", fmt.Errorf("prompts: no %q marker", MarkerQuestion)
+	}
+	rest := prompt[i+len(MarkerQuestion):]
+	if j := strings.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[:j]
+	}
+	q := strings.TrimSpace(rest)
+	if q == "" {
+		return "", fmt.Errorf("prompts: empty task question")
+	}
+	return q, nil
+}
+
+// ExtractProblem pulls the question out of an IO/CoT/Verify/AnswerFromGraph
+// prompt: the quoted text after the final "[problem]:" marker.
+func ExtractProblem(prompt string) (string, error) {
+	i := strings.LastIndex(prompt, MarkerProblem)
+	if i < 0 {
+		return "", fmt.Errorf("prompts: no %q marker", MarkerProblem)
+	}
+	rest := prompt[i+len(MarkerProblem):]
+	if j := strings.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[:j]
+	}
+	q := strings.TrimSpace(rest)
+	q = strings.Trim(q, `"`)
+	if q == "" {
+		return "", fmt.Errorf("prompts: empty problem")
+	}
+	return q, nil
+}
+
+// VerifyParts is the decomposition of a Fig. 4 prompt.
+type VerifyParts struct {
+	Problem   string
+	GoldGraph string
+	ToFix     string
+}
+
+// ExtractVerifyParts splits a Verify prompt into its task sections. Only
+// the final [Task] occurrence of each marker is used, so the in-context
+// examples do not interfere.
+func ExtractVerifyParts(prompt string) (VerifyParts, error) {
+	var p VerifyParts
+	problem, err := ExtractProblem(prompt)
+	if err != nil {
+		return p, err
+	}
+	p.Problem = problem
+	gi := strings.LastIndex(prompt, MarkerGold)
+	ti := strings.LastIndex(prompt, MarkerToFix)
+	fi := strings.LastIndex(prompt, MarkerFixed)
+	if gi < 0 || ti < 0 || fi < 0 || !(gi < ti && ti < fi) {
+		return p, fmt.Errorf("prompts: malformed verify prompt (gold=%d tofix=%d fixed=%d)", gi, ti, fi)
+	}
+	p.GoldGraph = strings.TrimSpace(prompt[gi+len(MarkerGold) : ti])
+	p.ToFix = strings.TrimSpace(prompt[ti+len(MarkerToFix) : fi])
+	return p, nil
+}
+
+// GraphQAParts is the decomposition of a Fig. 5 prompt.
+type GraphQAParts struct {
+	Problem string
+	Graph   string
+}
+
+// ExtractGraphQAParts splits an AnswerFromGraph prompt.
+func ExtractGraphQAParts(prompt string) (GraphQAParts, error) {
+	var p GraphQAParts
+	problem, err := ExtractProblem(prompt)
+	if err != nil {
+		return p, err
+	}
+	p.Problem = problem
+	gi := strings.LastIndex(prompt, MarkerGraphQA)
+	ai := strings.LastIndex(prompt, MarkerAnswer)
+	if gi < 0 {
+		return p, fmt.Errorf("prompts: no %q marker", MarkerGraphQA)
+	}
+	end := len(prompt)
+	if ai > gi {
+		end = ai
+	}
+	p.Graph = strings.TrimSpace(prompt[gi+len(MarkerGraphQA) : end])
+	return p, nil
+}
+
+// MarkerScoreRels marks the relation-scoring prompt ToG-style exploration
+// uses to prune candidate relations.
+const MarkerScoreRels = "[candidate relations]:"
+
+// ScoreRelations builds the ToG relation-pruning prompt: rate each
+// candidate relation's relevance to the question, one score per line.
+func ScoreRelations(question string, relations []string) string {
+	var b strings.Builder
+	b.WriteString("[Task description]:\n")
+	b.WriteString("Rate how relevant each candidate relation is for answering the [problem], one 'relation<TAB>score' line per relation, scores in [0,1].\n")
+	b.WriteString("[Task]:\n")
+	b.WriteString(MarkerProblem + " \"" + question + "\"\n")
+	b.WriteString(MarkerScoreRels + "\n")
+	for _, r := range relations {
+		b.WriteString(r + "\n")
+	}
+	return b.String()
+}
+
+// ExtractScoreRelations pulls the candidate relation list out of a
+// ScoreRelations prompt.
+func ExtractScoreRelations(prompt string) (question string, relations []string, err error) {
+	question, err = ExtractProblem(prompt)
+	if err != nil {
+		return "", nil, err
+	}
+	i := strings.LastIndex(prompt, MarkerScoreRels)
+	if i < 0 {
+		return "", nil, fmt.Errorf("prompts: no %q marker", MarkerScoreRels)
+	}
+	for _, line := range strings.Split(prompt[i+len(MarkerScoreRels):], "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			relations = append(relations, line)
+		}
+	}
+	if len(relations) == 0 {
+		return "", nil, fmt.Errorf("prompts: no candidate relations")
+	}
+	return question, relations, nil
+}
+
+// TaskKind classifies a prompt by its markers, in the priority order the
+// simulated model dispatches on.
+type TaskKind int
+
+const (
+	TaskIO TaskKind = iota
+	TaskCoT
+	TaskPseudoGraph
+	TaskDirectTriples
+	TaskVerify
+	TaskGraphQA
+	TaskScoreRels
+)
+
+// String names the task kind.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskIO:
+		return "io"
+	case TaskCoT:
+		return "cot"
+	case TaskPseudoGraph:
+		return "pseudo-graph"
+	case TaskDirectTriples:
+		return "direct-triples"
+	case TaskVerify:
+		return "verify"
+	case TaskGraphQA:
+		return "graph-qa"
+	case TaskScoreRels:
+		return "score-relations"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify returns the task kind of a prompt.
+func Classify(prompt string) TaskKind {
+	switch {
+	case strings.Contains(prompt, MarkerScoreRels):
+		return TaskScoreRels
+	case strings.Contains(prompt, MarkerToFix):
+		return TaskVerify
+	case strings.Contains(prompt, MarkerCypher):
+		return TaskPseudoGraph
+	case strings.Contains(prompt, MarkerDirect):
+		return TaskDirectTriples
+	case strings.Contains(prompt, MarkerGraphQA):
+		return TaskGraphQA
+	case strings.Contains(prompt, MarkerCoT):
+		return TaskCoT
+	default:
+		return TaskIO
+	}
+}

@@ -1,0 +1,161 @@
+package prompts
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		prompt string
+		want   TaskKind
+	}{
+		{PseudoGraph("q?"), TaskPseudoGraph},
+		{DirectTriples("q?"), TaskDirectTriples},
+		{Verify("q?", "<a> <b> <c>", "<a> <b> <d>"), TaskVerify},
+		{AnswerFromGraph("q?", "<a> <b> <c>"), TaskGraphQA},
+		{CoT("q?"), TaskCoT},
+		{IO("q?"), TaskIO},
+		{ScoreRelations("q?", []string{"r1", "r2"}), TaskScoreRels},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.prompt); got != tt.want {
+			t.Errorf("Classify(...) = %v, want %v", got, tt.want)
+		}
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	kinds := []TaskKind{TaskIO, TaskCoT, TaskPseudoGraph, TaskDirectTriples, TaskVerify, TaskGraphQA, TaskScoreRels}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Errorf("TaskKind %d stringifies to %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestExtractTaskQuestion(t *testing.T) {
+	q := "Who covers more countries, the Andes or the Himalayas?"
+	got, err := ExtractTaskQuestion(PseudoGraph(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q {
+		t.Errorf("ExtractTaskQuestion = %q, want %q", got, q)
+	}
+	// The in-context examples also contain {Question}: markers — the LAST
+	// one must win.
+	if !strings.Contains(PseudoGraph(q), "Great Lakes") {
+		t.Fatal("prompt should contain in-context examples")
+	}
+	if _, err := ExtractTaskQuestion("no marker"); err == nil {
+		t.Error("missing marker accepted")
+	}
+}
+
+func TestExtractProblem(t *testing.T) {
+	q := "What is the population of China?"
+	for _, prompt := range []string{IO(q), CoT(q), AnswerFromGraph(q, "<a> <b> <c>")} {
+		got, err := ExtractProblem(prompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != q {
+			t.Errorf("ExtractProblem = %q, want %q", got, q)
+		}
+	}
+}
+
+func TestExtractVerifyParts(t *testing.T) {
+	gold := "[entity_0]:\n<China> <population> <1443497378>"
+	toFix := "<China> <Number of population> <1463725000>"
+	prompt := Verify("What is the population of China?", gold, toFix)
+	parts, err := ExtractVerifyParts(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.Problem != "What is the population of China?" {
+		t.Errorf("problem = %q", parts.Problem)
+	}
+	if parts.GoldGraph != gold {
+		t.Errorf("gold = %q", parts.GoldGraph)
+	}
+	if parts.ToFix != toFix {
+		t.Errorf("toFix = %q", parts.ToFix)
+	}
+	if _, err := ExtractVerifyParts(IO("q?")); err == nil {
+		t.Error("non-verify prompt accepted")
+	}
+}
+
+func TestExtractGraphQAParts(t *testing.T) {
+	graph := "<Lake Superior> <area> <82350>\n<Lake Michigan> <area> <57750>"
+	prompt := AnswerFromGraph("largest lake?", graph)
+	parts, err := ExtractGraphQAParts(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.Problem != "largest lake?" || parts.Graph != graph {
+		t.Errorf("parts = %+v", parts)
+	}
+	// Empty graph must survive the round trip as empty.
+	empty, err := ExtractGraphQAParts(AnswerFromGraph("q?", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Graph != "" {
+		t.Errorf("empty graph round-tripped as %q", empty.Graph)
+	}
+}
+
+func TestExtractScoreRelations(t *testing.T) {
+	rels := []string{"people/person/place_of_birth", "people/person/profession"}
+	prompt := ScoreRelations("Where was X born?", rels)
+	q, got, err := ExtractScoreRelations(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != "Where was X born?" {
+		t.Errorf("question = %q", q)
+	}
+	if len(got) != 2 || got[0] != rels[0] || got[1] != rels[1] {
+		t.Errorf("relations = %v", got)
+	}
+}
+
+func TestPromptsContainPaperExamples(t *testing.T) {
+	// The prompt texts should preserve the paper's in-context examples.
+	pg := PseudoGraph("q?")
+	for _, want := range []string{"Lake Superior", "Andes", "Himalayas", "COVERS"} {
+		if !strings.Contains(pg, want) {
+			t.Errorf("pseudo-graph prompt lacks %q", want)
+		}
+	}
+	v := Verify("q?", "g", "f")
+	for _, want := range []string{"Number of population", "Keweenaw Waterway", "Dongting Lake"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verify prompt lacks %q", want)
+		}
+	}
+	a := AnswerFromGraph("q?", "g")
+	if !strings.Contains(a, "{1443497378}") {
+		t.Error("answer prompt lacks the population example")
+	}
+	io := IO("q?")
+	if strings.Count(io, "[Example]:") != 6 {
+		t.Error("IO prompt should have six in-context examples")
+	}
+}
+
+func TestVerifyOrderingOfSections(t *testing.T) {
+	prompt := Verify("p?", "GOLDGRAPH", "TOFIXGRAPH")
+	gi := strings.LastIndex(prompt, MarkerGold)
+	ti := strings.LastIndex(prompt, MarkerToFix)
+	fi := strings.LastIndex(prompt, MarkerFixed)
+	if !(gi < ti && ti < fi) {
+		t.Error("verify prompt sections out of order")
+	}
+}

@@ -1,0 +1,151 @@
+// Package qa defines the question model shared by dataset generation and
+// the simulated LLM: intents (the machine-readable meaning of a question),
+// the invertible natural-language template grammar that renders and parses
+// them, and the Question/Dataset containers.
+//
+// The grammar is deliberately unambiguous: every template renders to a
+// distinct surface shape, so parsing is exact. This pins the simulation at
+// the right altitude — the paper's methods differ in how they access
+// knowledge, not in question understanding, so the simulated LLM gets
+// perfect NLU and imperfect memory (see internal/llm).
+package qa
+
+import (
+	"fmt"
+
+	"repro/internal/kg"
+	"repro/internal/world"
+)
+
+// IntentKind classifies question meanings.
+type IntentKind int
+
+const (
+	// KindLookup walks a relation chain from Subject; the answer is the
+	// terminal object. Chain length 1 = single-hop (SimpleQuestions-like),
+	// >1 = multi-hop (QALD-like).
+	KindLookup IntentKind = iota
+	// KindCompareCount asks which of Subject/Subject2 has more objects
+	// under Chain[0] ("Who covers more countries, the Andes or the
+	// Himalayas?").
+	KindCompareCount
+	// KindCompareValue asks which of Subject/Subject2 has the larger
+	// numeric value under Chain[0] ("Which has a larger area, A or B?").
+	KindCompareValue
+	// KindSuperlative asks which entity filtered by (FilterRel = Subject)
+	// maximises ValueRel ("Who has the largest area of the lakes in X?").
+	KindSuperlative
+	// KindOpenProfile asks for an open-ended description of Subject
+	// ("Tell me about X.").
+	KindOpenProfile
+	// KindOpenField asks for the notable people of field Subject and what
+	// they are known for.
+	KindOpenField
+	// KindOpenList asks for all objects of Subject under Chain[0], with
+	// context ("What are the products of X?").
+	KindOpenList
+)
+
+// String names the intent kind.
+func (k IntentKind) String() string {
+	switch k {
+	case KindLookup:
+		return "lookup"
+	case KindCompareCount:
+		return "compare-count"
+	case KindCompareValue:
+		return "compare-value"
+	case KindSuperlative:
+		return "superlative"
+	case KindOpenProfile:
+		return "open-profile"
+	case KindOpenField:
+		return "open-field"
+	case KindOpenList:
+		return "open-list"
+	default:
+		return "unknown"
+	}
+}
+
+// Intent is the machine-readable meaning of a question.
+type Intent struct {
+	Kind     IntentKind
+	Subject  string // canonical world entity name (or field name)
+	Subject2 string // second subject for comparisons
+	Chain    []world.RelKey
+	// ValueRel and FilterRel parameterise superlatives: among entities e
+	// with (e FilterRel Subject), maximise ValueRel.
+	ValueRel  world.RelKey
+	FilterRel world.RelKey
+}
+
+// IsOpen reports whether the intent expects an open-ended (ROUGE-scored)
+// answer rather than a precise one.
+func (in Intent) IsOpen() bool {
+	switch in.Kind {
+	case KindOpenProfile, KindOpenField, KindOpenList:
+		return true
+	default:
+		return false
+	}
+}
+
+// Hops returns the reasoning depth: chain length for lookups, 2 for
+// comparisons and superlatives (gather then compare), 1 for open intents.
+func (in Intent) Hops() int {
+	switch in.Kind {
+	case KindLookup:
+		return len(in.Chain)
+	case KindCompareCount, KindCompareValue, KindSuperlative:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Question is one evaluation item.
+type Question struct {
+	ID     int
+	Text   string
+	Intent Intent
+	// Golds are the acceptable precise answers (for Hit@1); for
+	// time-varying facts the current value is first.
+	Golds []string
+	// Refs are the reference answers for ROUGE-scored open questions.
+	Refs []string
+	// SourceKG records which KG schema the dataset was constructed
+	// against (the paper's "question source").
+	SourceKG kg.Source
+}
+
+// Open reports whether the question is ROUGE-scored.
+func (q Question) Open() bool { return q.Intent.IsOpen() }
+
+// Dataset is a named set of questions with its metric.
+type Dataset struct {
+	// Name is e.g. "SimpleQuestions", "QALD", "NatureQuestions".
+	Name string
+	// Metric is "hit@1" or "rouge-l".
+	Metric string
+	// Questions are the evaluation items.
+	Questions []Question
+}
+
+// Validate checks internal consistency: every question has the metric's
+// required gold material.
+func (d *Dataset) Validate() error {
+	for _, q := range d.Questions {
+		if q.Text == "" {
+			return fmt.Errorf("qa: dataset %s question %d has empty text", d.Name, q.ID)
+		}
+		if q.Open() {
+			if len(q.Refs) == 0 {
+				return fmt.Errorf("qa: dataset %s question %d (open) has no references", d.Name, q.ID)
+			}
+		} else if len(q.Golds) == 0 {
+			return fmt.Errorf("qa: dataset %s question %d has no gold answers", d.Name, q.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package qa
+
+import (
+	"strings"
+
+	"repro/internal/world"
+)
+
+// realizePatterns maps each relation to a sentence pattern with %S and %O
+// slots. Reference answers (dataset side) and simulated model answers (LLM
+// side) share these surfaces, so ROUGE-L differences measure *content*
+// coverage — which facts made it into the answer — rather than phrasing
+// luck, mirroring how the paper's human-written references reward factual
+// completeness.
+var realizePatterns = map[world.RelKey]string{
+	world.RelBornIn:       "%S was born in %O.",
+	world.RelBirthDate:    "%S was born on %O.",
+	world.RelOccupation:   "%S works as a specialist in %O.",
+	world.RelAward:        "%S received the %O.",
+	world.RelEducatedAt:   "%S was educated at %O.",
+	world.RelFieldOfWork:  "%S is known for work in %O.",
+	world.RelNotableWork:  "%S created %O.",
+	world.RelCitizenOf:    "%S is a citizen of %O.",
+	world.RelInCountry:    "%S is a city in %O.",
+	world.RelPopulation:   "%S has a population of %O.",
+	world.RelCapital:      "The capital of %S is %O.",
+	world.RelContinent:    "%S is on the continent of %O.",
+	world.RelOfficialLang: "The official language of %S is %O.",
+	world.RelArea:         "%S has an area of %O.",
+	world.RelLocatedIn:    "%S is located in %O.",
+	world.RelInflow:       "%O flows into %S.",
+	world.RelCovers:       "%S covers %O.",
+	world.RelElevation:    "%S rises to an elevation of %O.",
+	world.RelFlowsThrough: "%S flows through %O.",
+	world.RelLength:       "%S is %O long.",
+	world.RelFoundedBy:    "%S was founded by %O.",
+	world.RelHeadquarters: "%S is headquartered in %O.",
+	world.RelIndustry:     "%S operates in the %O industry.",
+	world.RelProduct:      "%S produces %O.",
+	world.RelUnivIn:       "%S is located in %O.",
+	world.RelInception:    "%S was established in %O.",
+	world.RelCreator:      "%S was created by %O.",
+	world.RelGenre:        "%S belongs to the genre of %O.",
+	world.RelPubYear:      "%S was published in %O.",
+	world.RelAwardFor:     "%S is awarded in the field of %O.",
+}
+
+// Realize renders one (subject, relation, object) statement as a sentence.
+// Unknown relations fall back to "<S> <rel words> <O>."
+func Realize(subject string, rel world.RelKey, object string) string {
+	if p, ok := realizePatterns[rel]; ok {
+		s := strings.ReplaceAll(p, "%S", subject)
+		return strings.ReplaceAll(s, "%O", object)
+	}
+	return subject + " " + strings.ReplaceAll(string(rel), "_", " ") + " " + object + "."
+}
+
+// RealizeFacts renders a fact list into flowing text, one sentence per
+// fact, in the given order.
+func RealizeFacts(w *world.World, facts []world.Fact) string {
+	var b strings.Builder
+	for i, f := range facts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(Realize(w.Entities[f.Subject].Name, f.Rel, w.ObjectSurface(f)))
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package qa
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/world"
+)
+
+// Resolver answers intents against the ground-truth world. Dataset builders
+// use it to compute gold answers; tests use it as the oracle.
+type Resolver struct {
+	W *world.World
+}
+
+// walkChain returns the terminal surfaces of the chain starting at the
+// subject entity. Multi-valued hops branch; time-varying hops take only the
+// current value. The bool result reports whether the subject resolved.
+func (r *Resolver) walkChain(subject string, chain []world.RelKey) ([]string, bool) {
+	ent, ok := r.W.EntityByName(subject)
+	if !ok {
+		return nil, false
+	}
+	frontier := []int{ent.ID}
+	for hop, rel := range chain {
+		info, _ := world.RelByKey(rel)
+		last := hop == len(chain)-1
+		var nextIDs []int
+		var terminals []string
+		for _, id := range frontier {
+			facts := r.W.FactsSR(id, rel)
+			if len(facts) == 0 {
+				continue
+			}
+			if info.TimeVarying {
+				facts = facts[len(facts)-1:]
+			}
+			for _, f := range facts {
+				if last {
+					terminals = append(terminals, r.W.ObjectSurface(f))
+					continue
+				}
+				if f.ObjectIsEntity() {
+					nextIDs = append(nextIDs, f.Object)
+				}
+			}
+		}
+		if last {
+			return dedupStrings(terminals), true
+		}
+		if len(nextIDs) == 0 {
+			return nil, true
+		}
+		frontier = dedupInts(nextIDs)
+	}
+	return nil, true
+}
+
+// Gold returns the acceptable precise answers for an intent, or an error
+// when the intent cannot be resolved (unknown subject, empty chain result).
+func (r *Resolver) Gold(in Intent) ([]string, error) {
+	switch in.Kind {
+	case KindLookup:
+		out, ok := r.walkChain(in.Subject, in.Chain)
+		if !ok {
+			return nil, fmt.Errorf("qa: unknown subject %q", in.Subject)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("qa: chain %v from %q resolves to nothing", in.Chain, in.Subject)
+		}
+		return out, nil
+	case KindCompareCount:
+		a, okA := r.walkChain(in.Subject, in.Chain)
+		b, okB := r.walkChain(in.Subject2, in.Chain)
+		if !okA || !okB {
+			return nil, fmt.Errorf("qa: unknown comparison subject")
+		}
+		switch {
+		case len(a) > len(b):
+			return []string{in.Subject}, nil
+		case len(b) > len(a):
+			return []string{in.Subject2}, nil
+		default:
+			return []string{in.Subject, in.Subject2}, nil
+		}
+	case KindCompareValue:
+		av, errA := r.numericValue(in.Subject, in.Chain[0])
+		bv, errB := r.numericValue(in.Subject2, in.Chain[0])
+		if errA != nil {
+			return nil, errA
+		}
+		if errB != nil {
+			return nil, errB
+		}
+		if av >= bv {
+			return []string{in.Subject}, nil
+		}
+		return []string{in.Subject2}, nil
+	case KindSuperlative:
+		return r.superlative(in)
+	default:
+		return nil, fmt.Errorf("qa: Gold is undefined for open intent %s", in.Kind)
+	}
+}
+
+// numericValue returns the current numeric value of (subject, rel).
+func (r *Resolver) numericValue(subject string, rel world.RelKey) (float64, error) {
+	ent, ok := r.W.EntityByName(subject)
+	if !ok {
+		return 0, fmt.Errorf("qa: unknown subject %q", subject)
+	}
+	f, ok := r.W.CurrentFact(ent.ID, rel)
+	if !ok {
+		return 0, fmt.Errorf("qa: %q has no %s", subject, rel)
+	}
+	v, err := strconv.ParseFloat(f.Literal, 64)
+	if err != nil {
+		return 0, fmt.Errorf("qa: %q %s is not numeric: %v", subject, rel, err)
+	}
+	return v, nil
+}
+
+// superlative finds the entity related to the filter subject that
+// maximises the value relation.
+func (r *Resolver) superlative(in Intent) ([]string, error) {
+	filterEnt, ok := r.W.EntityByName(in.Subject)
+	if !ok {
+		return nil, fmt.Errorf("qa: unknown filter subject %q", in.Subject)
+	}
+	best := ""
+	bestV := -1.0
+	for _, f := range r.W.FactsByRel(in.FilterRel) {
+		if !f.ObjectIsEntity() || f.Object != filterEnt.ID {
+			continue
+		}
+		name := r.W.Entities[f.Subject].Name
+		v, err := r.numericValue(name, in.ValueRel)
+		if err != nil {
+			continue
+		}
+		if v > bestV {
+			bestV = v
+			best = name
+		}
+	}
+	if best == "" {
+		return nil, fmt.Errorf("qa: no candidates for superlative over %q", in.Subject)
+	}
+	return []string{best}, nil
+}
+
+// SupportFacts returns the world facts an intent's answer rests on — the
+// evidence set. Open intents return the subject's profile facts (or the
+// field's people and their achievements); precise intents return every fact
+// touched by the walk. The bench harness and reference-answer builder both
+// use this.
+func (r *Resolver) SupportFacts(in Intent) []world.Fact {
+	switch in.Kind {
+	case KindLookup:
+		return r.chainFacts(in.Subject, in.Chain)
+	case KindCompareCount, KindCompareValue:
+		out := r.chainFacts(in.Subject, in.Chain)
+		return append(out, r.chainFacts(in.Subject2, in.Chain)...)
+	case KindSuperlative:
+		var out []world.Fact
+		filterEnt, ok := r.W.EntityByName(in.Subject)
+		if !ok {
+			return nil
+		}
+		for _, f := range r.W.FactsByRel(in.FilterRel) {
+			if f.ObjectIsEntity() && f.Object == filterEnt.ID {
+				out = append(out, f)
+				if vf, ok := r.W.CurrentFact(f.Subject, in.ValueRel); ok {
+					out = append(out, vf)
+				}
+			}
+		}
+		return out
+	case KindOpenProfile:
+		ent, ok := r.W.EntityByName(in.Subject)
+		if !ok {
+			return nil
+		}
+		return r.currentFactsOf(ent.ID)
+	case KindOpenList:
+		ent, ok := r.W.EntityByName(in.Subject)
+		if !ok {
+			return nil
+		}
+		var out []world.Fact
+		for _, f := range r.W.FactsSR(ent.ID, in.Chain[0]) {
+			out = append(out, f)
+		}
+		return out
+	case KindOpenField:
+		return r.fieldFacts(in.Subject)
+	default:
+		return nil
+	}
+}
+
+// chainFacts collects every fact touched while walking the chain from the
+// subject, including branches and all time-varying revisions (the gold
+// graph keeps them in chronological order).
+func (r *Resolver) chainFacts(subject string, chain []world.RelKey) []world.Fact {
+	ent, ok := r.W.EntityByName(subject)
+	if !ok {
+		return nil
+	}
+	var out []world.Fact
+	frontier := []int{ent.ID}
+	for _, rel := range chain {
+		var next []int
+		for _, id := range frontier {
+			for _, f := range r.W.FactsSR(id, rel) {
+				out = append(out, f)
+				if f.ObjectIsEntity() {
+					next = append(next, f.Object)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = dedupInts(next)
+	}
+	return out
+}
+
+// currentFactsOf returns the subject's facts with stale time-varying
+// revisions dropped.
+func (r *Resolver) currentFactsOf(id int) []world.Fact {
+	var out []world.Fact
+	seenTV := map[world.RelKey]bool{}
+	facts := r.W.FactsOf(id)
+	// Walk backwards so the highest ordinal (current) revision wins.
+	for i := len(facts) - 1; i >= 0; i-- {
+		f := facts[i]
+		info, _ := world.RelByKey(f.Rel)
+		if info.TimeVarying {
+			if seenTV[f.Rel] {
+				continue
+			}
+			seenTV[f.Rel] = true
+		}
+		out = append(out, f)
+	}
+	// Restore forward order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// fieldFacts returns the facts about the most decorated people in a field:
+// their field membership, awards and notable works.
+func (r *Resolver) fieldFacts(fieldName string) []world.Fact {
+	fieldEnt, ok := r.W.EntityByName(fieldName)
+	if !ok {
+		return nil
+	}
+	var people []int
+	for _, f := range r.W.FactsByRel(world.RelFieldOfWork) {
+		if f.ObjectIsEntity() && f.Object == fieldEnt.ID {
+			people = append(people, f.Subject)
+		}
+	}
+	// Rank people by decoration (award count, then notable works), keep a
+	// handful — open answers are about the notable few, not a census.
+	type ranked struct {
+		id     int
+		awards int
+		works  int
+	}
+	rs := make([]ranked, 0, len(people))
+	for _, p := range people {
+		rs = append(rs, ranked{
+			id:     p,
+			awards: len(r.W.FactsSR(p, world.RelAward)),
+			works:  len(r.W.FactsSR(p, world.RelNotableWork)),
+		})
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rs[j], rs[j-1]
+			better := a.awards > b.awards ||
+				(a.awards == b.awards && a.works > b.works) ||
+				(a.awards == b.awards && a.works == b.works && a.id < b.id)
+			if !better {
+				break
+			}
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	if len(rs) > 4 {
+		rs = rs[:4]
+	}
+	var out []world.Fact
+	for _, p := range rs {
+		for _, f := range r.W.FactsOf(p.id) {
+			switch f.Rel {
+			case world.RelFieldOfWork, world.RelAward, world.RelNotableWork, world.RelBornIn:
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func dedupInts(in []int) []int {
+	seen := make(map[int]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package qa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/world"
+)
+
+// Template is one invertible surface form. Prefix/Infix/Suffix delimit the
+// one or two entity slots:
+//
+//	one slot:  Prefix + X + Suffix
+//	two slots: Prefix + X + Infix + Y + Suffix
+//
+// Templates are matched longest-prefix-first at parse time, and the
+// generator guarantees entity names never contain template delimiters.
+type Template struct {
+	Kind      IntentKind
+	Chain     []world.RelKey
+	ValueRel  world.RelKey
+	FilterRel world.RelKey
+	Prefix    string
+	Infix     string // empty for one-slot templates
+	Suffix    string
+	TwoSlot   bool
+}
+
+// Render fills the template's slots.
+func (t Template) Render(x, y string) string {
+	if t.TwoSlot {
+		return t.Prefix + x + t.Infix + y + t.Suffix
+	}
+	return t.Prefix + x + t.Suffix
+}
+
+// match attempts to invert the template against text, returning the slot
+// fillers.
+func (t Template) match(text string) (x, y string, ok bool) {
+	if !strings.HasPrefix(text, t.Prefix) || !strings.HasSuffix(text, t.Suffix) {
+		return "", "", false
+	}
+	middle := text[len(t.Prefix) : len(text)-len(t.Suffix)]
+	if !t.TwoSlot {
+		if middle == "" {
+			return "", "", false
+		}
+		return middle, "", true
+	}
+	i := strings.Index(middle, t.Infix)
+	if i <= 0 || i+len(t.Infix) >= len(middle) {
+		return "", "", false
+	}
+	return middle[:i], middle[i+len(t.Infix):], true
+}
+
+// LookupTemplates maps each single-hop relation to its question phrasings.
+// The first entry is the primary phrasing used by generators; the rest are
+// accepted paraphrases.
+var LookupTemplates = map[world.RelKey][]Template{
+	world.RelBornIn: {
+		lk1("Where was ", " born?", world.RelBornIn),
+		lk1("In which city was ", " born?", world.RelBornIn),
+	},
+	world.RelBirthDate: {
+		lk1("When was ", " born?", world.RelBirthDate),
+		lk1("What is the date of birth of ", "?", world.RelBirthDate),
+	},
+	world.RelOccupation: {
+		lk1("What is the occupation of ", "?", world.RelOccupation),
+	},
+	world.RelAward: {
+		lk1("Which award did ", " receive?", world.RelAward),
+		lk1("What award was won by ", "?", world.RelAward),
+	},
+	world.RelEducatedAt: {
+		lk1("Where was ", " educated?", world.RelEducatedAt),
+		lk1("Which university did ", " attend?", world.RelEducatedAt),
+	},
+	world.RelFieldOfWork: {
+		lk1("What is the field of work of ", "?", world.RelFieldOfWork),
+	},
+	world.RelNotableWork: {
+		lk1("What is a notable work of ", "?", world.RelNotableWork),
+	},
+	world.RelCitizenOf: {
+		lk1("What is the nationality of ", "?", world.RelCitizenOf),
+		lk1("Which country is ", " a citizen of?", world.RelCitizenOf),
+	},
+	world.RelInCountry: {
+		lk1("In which country is the city of ", "?", world.RelInCountry),
+	},
+	world.RelPopulation: {
+		lk1("What is the population of ", "?", world.RelPopulation),
+	},
+	world.RelCapital: {
+		lk1("What is the capital of ", "?", world.RelCapital),
+	},
+	world.RelContinent: {
+		lk1("On which continent is ", "?", world.RelContinent),
+	},
+	world.RelOfficialLang: {
+		lk1("What is the official language of ", "?", world.RelOfficialLang),
+	},
+	world.RelArea: {
+		lk1("What is the area of ", "?", world.RelArea),
+	},
+	world.RelInflow: {
+		lk1("Which river flows into ", "?", world.RelInflow),
+	},
+	world.RelCovers: {
+		lk1("Which country does ", " cover?", world.RelCovers),
+	},
+	world.RelElevation: {
+		lk1("What is the elevation of ", "?", world.RelElevation),
+	},
+	world.RelFlowsThrough: {
+		lk1("Through which country does ", " flow?", world.RelFlowsThrough),
+	},
+	world.RelLength: {
+		lk1("How long is ", "?", world.RelLength),
+	},
+	world.RelFoundedBy: {
+		lk1("Who founded ", "?", world.RelFoundedBy),
+		lk1("Who is the founder of ", "?", world.RelFoundedBy),
+	},
+	world.RelHeadquarters: {
+		lk1("Where is ", " headquartered?", world.RelHeadquarters),
+	},
+	world.RelIndustry: {
+		lk1("In which industry does ", " operate?", world.RelIndustry),
+	},
+	world.RelProduct: {
+		lk1("What is a product of ", "?", world.RelProduct),
+	},
+	world.RelUnivIn: {
+		lk1("In which city is ", " located?", world.RelUnivIn),
+	},
+	world.RelInception: {
+		lk1("In which year was ", " established?", world.RelInception),
+	},
+	world.RelCreator: {
+		lk1("Who created ", "?", world.RelCreator),
+	},
+	world.RelGenre: {
+		lk1("What is the genre of ", "?", world.RelGenre),
+	},
+	world.RelPubYear: {
+		lk1("In which year was ", " published?", world.RelPubYear),
+	},
+	world.RelAwardFor: {
+		lk1("In which field is ", " awarded?", world.RelAwardFor),
+	},
+}
+
+func lk1(prefix, suffix string, chain ...world.RelKey) Template {
+	return Template{Kind: KindLookup, Chain: chain, Prefix: prefix, Suffix: suffix}
+}
+
+// MultiHopTemplates are the QALD-like chains. Each walks the chain left to
+// right from the slot entity.
+var MultiHopTemplates = []Template{
+	lk1("What is the capital of the country where ", " was born?",
+		world.RelBornIn, world.RelInCountry, world.RelCapital),
+	lk1("On which continent is the country where ", " was born?",
+		world.RelBornIn, world.RelInCountry, world.RelContinent),
+	lk1("What is the population of the city where ", " was born?",
+		world.RelBornIn, world.RelPopulation),
+	lk1("In which city is the university where ", " was educated?",
+		world.RelEducatedAt, world.RelUnivIn),
+	lk1("In which country is the city where ", " is headquartered?",
+		world.RelHeadquarters, world.RelInCountry),
+	lk1("What is the official language of the country where ", " is located?",
+		world.RelLocatedIn, world.RelOfficialLang),
+	lk1("Who created a product of ", "?",
+		world.RelProduct, world.RelCreator),
+	lk1("In which field is the award received by ", " given?",
+		world.RelAward, world.RelAwardFor),
+	lk1("What is the genre of a notable work of ", "?",
+		world.RelNotableWork, world.RelGenre),
+	lk1("What is the nationality of the founder of ", "?",
+		world.RelFoundedBy, world.RelCitizenOf),
+	lk1("Where was the creator of ", " born?",
+		world.RelCreator, world.RelBornIn),
+	lk1("What is the capital of the country of citizenship of ", "?",
+		world.RelCitizenOf, world.RelCapital),
+}
+
+// CompareTemplates are two-slot comparison questions.
+var CompareTemplates = []Template{
+	{Kind: KindCompareCount, Chain: []world.RelKey{world.RelCovers},
+		Prefix: "Who covers more countries, ", Infix: " or ", Suffix: "?", TwoSlot: true},
+	{Kind: KindCompareValue, Chain: []world.RelKey{world.RelArea},
+		Prefix: "Which has a larger area, ", Infix: " or ", Suffix: "?", TwoSlot: true},
+	{Kind: KindCompareValue, Chain: []world.RelKey{world.RelLength},
+		Prefix: "Which is longer, ", Infix: " or ", Suffix: "?", TwoSlot: true},
+	{Kind: KindCompareValue, Chain: []world.RelKey{world.RelElevation},
+		Prefix: "Which is higher, ", Infix: " or ", Suffix: "?", TwoSlot: true},
+	{Kind: KindCompareValue, Chain: []world.RelKey{world.RelPopulation},
+		Prefix: "Which city has a larger population, ", Infix: " or ", Suffix: "?", TwoSlot: true},
+}
+
+// SuperlativeTemplates filter entities by a relation to the slot entity and
+// maximise a value relation.
+var SuperlativeTemplates = []Template{
+	{Kind: KindSuperlative, ValueRel: world.RelArea, FilterRel: world.RelLocatedIn,
+		Prefix: "Which lake in ", Suffix: " has the largest area?"},
+	{Kind: KindSuperlative, ValueRel: world.RelLength, FilterRel: world.RelFlowsThrough,
+		Prefix: "Which river flowing through ", Suffix: " is the longest?"},
+}
+
+// OpenTemplates are the Nature-Questions-like open-ended forms.
+var OpenTemplates = []Template{
+	{Kind: KindOpenField,
+		Prefix: "Who is acknowledged as a leading figure in the field of ", Suffix: "?"},
+	{Kind: KindOpenField,
+		Prefix: "Who are the most notable researchers in ", Suffix: "?"},
+	{Kind: KindOpenProfile, Prefix: "Tell me about ", Suffix: "."},
+	{Kind: KindOpenProfile, Prefix: "What should I know about ", Suffix: "?"},
+	{Kind: KindOpenList, Chain: []world.RelKey{world.RelProduct},
+		Prefix: "What are the products of ", Suffix: "?"},
+	{Kind: KindOpenList, Chain: []world.RelKey{world.RelNotableWork},
+		Prefix: "What are the notable works of ", Suffix: "?"},
+	{Kind: KindOpenList, Chain: []world.RelKey{world.RelCovers},
+		Prefix: "Which countries are covered by ", Suffix: "?"},
+	{Kind: KindOpenList, Chain: []world.RelKey{world.RelInflow},
+		Prefix: "Which rivers flow into ", Suffix: "?"},
+}
+
+// allTemplates returns every template, longest prefix first so that
+// specific forms ("What is the capital of the country where ...") win over
+// general ones ("What is the capital of ...").
+func allTemplates() []Template {
+	var all []Template
+	for _, ts := range LookupTemplates {
+		all = append(all, ts...)
+	}
+	all = append(all, MultiHopTemplates...)
+	all = append(all, CompareTemplates...)
+	all = append(all, SuperlativeTemplates...)
+	all = append(all, OpenTemplates...)
+	return all
+}
+
+var parseOrder = func() []Template {
+	all := allTemplates()
+	// Insertion sort by descending prefix length (stable, tiny N).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && len(all[j].Prefix) > len(all[j-1].Prefix); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return all
+}()
+
+// Parse inverts a question back to its intent. It returns an error for text
+// no template produced; the simulated LLM treats that as an
+// incomprehensible question and falls back to guessing.
+func Parse(text string) (Intent, error) {
+	text = strings.TrimSpace(text)
+	for _, t := range parseOrder {
+		x, y, ok := t.match(text)
+		if !ok {
+			continue
+		}
+		in := Intent{
+			Kind:      t.Kind,
+			Subject:   x,
+			Subject2:  y,
+			Chain:     t.Chain,
+			ValueRel:  t.ValueRel,
+			FilterRel: t.FilterRel,
+		}
+		return in, nil
+	}
+	return Intent{}, fmt.Errorf("qa: no template matches %q", text)
+}
+
+// PrimaryLookupTemplate returns the generator's phrasing for a single-hop
+// relation.
+func PrimaryLookupTemplate(rel world.RelKey) (Template, bool) {
+	ts, ok := LookupTemplates[rel]
+	if !ok || len(ts) == 0 {
+		return Template{}, false
+	}
+	return ts[0], true
+}

@@ -1,0 +1,163 @@
+package vecstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+)
+
+// persistMagic identifies the binary index format; the version byte bumps
+// on incompatible changes.
+var persistMagic = [8]byte{'P', 'G', 'A', 'K', 'V', 'I', 'X', 1}
+
+// WriteTo serialises the index (triples + vectors) in a compact binary
+// format, so large KGs can be indexed once and reloaded instantly. The
+// inverted token index is rebuilt on load (it is derived data and cheaper
+// to rebuild than to store).
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+	if err := count(bw.Write(persistMagic[:])); err != nil {
+		return written, fmt.Errorf("vecstore: write: %w", err)
+	}
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		return count(bw.Write(buf[:]))
+	}
+	writeString := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		return count(bw.WriteString(s))
+	}
+	if err := writeU32(uint32(len(idx.triples))); err != nil {
+		return written, fmt.Errorf("vecstore: write: %w", err)
+	}
+	if err := writeU32(uint32(embed.Dim)); err != nil {
+		return written, fmt.Errorf("vecstore: write: %w", err)
+	}
+	for i, t := range idx.triples {
+		for _, s := range []string{t.Subject, t.Relation, t.Object} {
+			if err := writeString(s); err != nil {
+				return written, fmt.Errorf("vecstore: write triple %d: %w", i, err)
+			}
+		}
+		var meta [8]byte
+		binary.LittleEndian.PutUint32(meta[:4], uint32(t.Source))
+		binary.LittleEndian.PutUint32(meta[4:], uint32(t.Ord))
+		if err := count(bw.Write(meta[:])); err != nil {
+			return written, fmt.Errorf("vecstore: write triple %d: %w", i, err)
+		}
+		var vec [4 * embed.Dim]byte
+		for d := 0; d < embed.Dim; d++ {
+			binary.LittleEndian.PutUint32(vec[d*4:], math.Float32bits(idx.vecs[i][d]))
+		}
+		if err := count(bw.Write(vec[:])); err != nil {
+			return written, fmt.Errorf("vecstore: write vector %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("vecstore: flush: %w", err)
+	}
+	return written, nil
+}
+
+// ReadFrom loads an index written by WriteTo; the encoder must match the
+// one used at build time (queries are encoded live).
+func ReadFrom(r io.Reader, enc *embed.Encoder) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("vecstore: read: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("vecstore: bad magic %v", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	readString := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("vecstore: string length %d too large", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("vecstore: read count: %w", err)
+	}
+	dim, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("vecstore: read dim: %w", err)
+	}
+	if dim != embed.Dim {
+		return nil, fmt.Errorf("vecstore: dimension mismatch: file has %d, build has %d", dim, embed.Dim)
+	}
+	triples := make([]kg.Triple, n)
+	vecs := make([]embed.Vector, n)
+	for i := range triples {
+		var t kg.Triple
+		if t.Subject, err = readString(); err != nil {
+			return nil, fmt.Errorf("vecstore: triple %d: %w", i, err)
+		}
+		if t.Relation, err = readString(); err != nil {
+			return nil, fmt.Errorf("vecstore: triple %d: %w", i, err)
+		}
+		if t.Object, err = readString(); err != nil {
+			return nil, fmt.Errorf("vecstore: triple %d: %w", i, err)
+		}
+		var meta [8]byte
+		if _, err := io.ReadFull(br, meta[:]); err != nil {
+			return nil, fmt.Errorf("vecstore: triple %d: %w", i, err)
+		}
+		t.Source = kg.Source(binary.LittleEndian.Uint32(meta[:4]))
+		t.Ord = int(binary.LittleEndian.Uint32(meta[4:]))
+		t.ID = i
+		triples[i] = t
+		var vec [4 * embed.Dim]byte
+		if _, err := io.ReadFull(br, vec[:]); err != nil {
+			return nil, fmt.Errorf("vecstore: vector %d: %w", i, err)
+		}
+		for d := 0; d < embed.Dim; d++ {
+			vecs[i][d] = math.Float32frombits(binary.LittleEndian.Uint32(vec[d*4:]))
+		}
+	}
+	idx := &Index{
+		enc:      enc,
+		triples:  triples,
+		vecs:     vecs,
+		inverted: make(map[string][]int32),
+	}
+	for i, t := range triples {
+		seen := make(map[string]bool, 8)
+		for _, tok := range embed.Tokenize(t.Text()) {
+			if !seen[tok] {
+				seen[tok] = true
+				idx.inverted[tok] = append(idx.inverted[tok], int32(i))
+			}
+		}
+	}
+	return idx, nil
+}

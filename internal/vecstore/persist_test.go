@@ -1,0 +1,63 @@
+package vecstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	idx := buildTestIndex(t)
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	loaded, err := ReadFrom(&buf, embed.NewEncoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("round trip lost triples: %d != %d", loaded.Len(), idx.Len())
+	}
+	// Searches must be identical.
+	for _, q := range []string{"China population", "Turing Award", "lake area"} {
+		a := idx.Search(q, 4)
+		b := loaded.Search(q, 4)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: lens differ", q)
+		}
+		for i := range a {
+			if !a[i].Triple.Equal(b[i].Triple) || a[i].Score != b[i].Score {
+				t.Errorf("query %q hit %d: %v/%v vs %v/%v",
+					q, i, a[i].Triple, a[i].Score, b[i].Triple, b[i].Score)
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("not an index"), embed.NewEncoder()); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadFrom(strings.NewReader(""), embed.NewEncoder()); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	idx := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadFrom(bytes.NewReader(truncated), embed.NewEncoder()); err == nil {
+		t.Error("truncated index accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config sizes the generated world. The zero value is not useful; call
+// DefaultConfig and adjust.
+type Config struct {
+	Seed int64
+
+	People       int
+	Cities       int
+	Countries    int
+	Continents   int
+	Lakes        int
+	Mountains    int
+	Rivers       int
+	Companies    int
+	Universities int
+	Works        int
+	Awards       int
+	Fields       int
+	Languages    int
+
+	// PopulationRevisions is how many historical values each population
+	// fact carries (the paper's time-varying triples; the verifier must
+	// pick the last).
+	PopulationRevisions int
+}
+
+// DefaultConfig returns a laptop-scale world big enough for the paper's
+// evaluation sizes (SimpleQuestions subset, QALD-scale multi-hop set, 50
+// open-ended questions) with headroom.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                42,
+		People:              600,
+		Cities:              160,
+		Countries:           40,
+		Continents:          6,
+		Lakes:               60,
+		Mountains:           30,
+		Rivers:              60,
+		Companies:           120,
+		Universities:        60,
+		Works:               400,
+		Awards:              40,
+		Fields:              30,
+		Languages:           24,
+		PopulationRevisions: 3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.People <= 0, c.Cities <= 0, c.Countries <= 0, c.Continents <= 0:
+		return fmt.Errorf("world: people/cities/countries/continents must be positive")
+	case c.Lakes < 0, c.Mountains < 0, c.Rivers < 0, c.Companies < 0,
+		c.Universities < 0, c.Works < 0, c.Awards < 0, c.Fields <= 0, c.Languages <= 0:
+		return fmt.Errorf("world: negative entity count")
+	case c.PopulationRevisions < 1:
+		return fmt.Errorf("world: PopulationRevisions must be >= 1")
+	case c.Works < c.People/2:
+		return fmt.Errorf("world: need at least one work per two people (got %d works, %d people)", c.Works, c.People)
+	case c.Cities < c.Countries:
+		return fmt.Errorf("world: every country needs a city (got %d cities, %d countries)", c.Cities, c.Countries)
+	}
+	return nil
+}
+
+// Generate builds a world deterministically from the config.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nm := newNamer(rng)
+	w := &World{}
+
+	addEntity := func(k Kind, name string) int {
+		id := len(w.Entities)
+		w.Entities = append(w.Entities, Entity{ID: id, Kind: k, Name: name})
+		return id
+	}
+	addFact := func(subject int, rel RelKey, object int, literal string, ord int) {
+		w.Facts = append(w.Facts, Fact{
+			ID: len(w.Facts), Subject: subject, Rel: rel,
+			Object: object, Literal: literal, Ord: ord,
+		})
+	}
+	entityFact := func(subject int, rel RelKey, object int) {
+		addFact(subject, rel, object, "", 0)
+	}
+	literalFact := func(subject int, rel RelKey, lit string) {
+		addFact(subject, rel, -1, lit, 0)
+	}
+
+	// --- Entity pools (order matters for determinism) ---
+	continents := make([]int, cfg.Continents)
+	for i := range continents {
+		continents[i] = addEntity(KindContinent, nm.Continent(i))
+	}
+	languages := make([]int, cfg.Languages)
+	for i := range languages {
+		languages[i] = addEntity(KindLanguage, nm.Language(i))
+	}
+	fields := make([]int, cfg.Fields)
+	for i := range fields {
+		fields[i] = addEntity(KindField, nm.Field(i))
+	}
+	countries := make([]int, cfg.Countries)
+	for i := range countries {
+		countries[i] = addEntity(KindCountry, nm.Country())
+	}
+	cities := make([]int, cfg.Cities)
+	for i := range cities {
+		cities[i] = addEntity(KindCity, nm.City())
+	}
+	universities := make([]int, cfg.Universities)
+	for i := range universities {
+		universities[i] = addEntity(KindUniversity, nm.University())
+	}
+	awards := make([]int, cfg.Awards)
+	for i := range awards {
+		awards[i] = addEntity(KindAward, nm.Award())
+	}
+	people := make([]int, cfg.People)
+	for i := range people {
+		people[i] = addEntity(KindPerson, nm.Person())
+	}
+	works := make([]int, cfg.Works)
+	for i := range works {
+		works[i] = addEntity(KindWork, nm.Work())
+	}
+	companies := make([]int, cfg.Companies)
+	for i := range companies {
+		companies[i] = addEntity(KindCompany, nm.Company())
+	}
+	lakes := make([]int, cfg.Lakes)
+	for i := range lakes {
+		lakes[i] = addEntity(KindLake, nm.Lake())
+	}
+	mountains := make([]int, cfg.Mountains)
+	for i := range mountains {
+		mountains[i] = addEntity(KindMountain, nm.Mountain())
+	}
+	rivers := make([]int, cfg.Rivers)
+	for i := range rivers {
+		rivers[i] = addEntity(KindRiver, nm.River())
+	}
+
+	pick := func(pool []int) int { return pool[rng.Intn(len(pool))] }
+
+	// --- Geography ---
+	cityCountry := make(map[int]int, len(cities))
+	for i, city := range cities {
+		// Round-robin base assignment guarantees every country has cities.
+		country := countries[i%len(countries)]
+		cityCountry[city] = country
+		entityFact(city, RelInCountry, country)
+		pop := int64(50_000 + rng.Intn(20_000_000))
+		for rev := 0; rev < cfg.PopulationRevisions; rev++ {
+			addFact(city, RelPopulation, -1, fmt.Sprintf("%d", pop), rev)
+			pop += int64(10_000 + rng.Intn(500_000))
+		}
+	}
+	countryCities := make(map[int][]int)
+	for _, city := range cities {
+		countryCities[cityCountry[city]] = append(countryCities[cityCountry[city]], city)
+	}
+	for i, country := range countries {
+		entityFact(country, RelCapital, countryCities[country][0])
+		entityFact(country, RelContinent, continents[i%len(continents)])
+		entityFact(country, RelOfficialLang, languages[i%len(languages)])
+	}
+	for _, lake := range lakes {
+		literalFact(lake, RelArea, fmt.Sprintf("%d", 500+rng.Intn(90_000)))
+		entityFact(lake, RelLocatedIn, pick(countries))
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			entityFact(lake, RelInflow, pick(rivers))
+		}
+	}
+	for _, m := range mountains {
+		covered := 2 + rng.Intn(6)
+		seen := map[int]bool{}
+		for k := 0; k < covered; k++ {
+			c := pick(countries)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			entityFact(m, RelCovers, c)
+		}
+		literalFact(m, RelElevation, fmt.Sprintf("%d", 1800+rng.Intn(7000)))
+	}
+	for _, r := range rivers {
+		basin := 1 + rng.Intn(4)
+		seen := map[int]bool{}
+		for k := 0; k < basin; k++ {
+			c := pick(countries)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			entityFact(r, RelFlowsThrough, c)
+		}
+		literalFact(r, RelLength, fmt.Sprintf("%d", 80+rng.Intn(6000)))
+	}
+
+	// --- Academia & awards ---
+	for _, u := range universities {
+		entityFact(u, RelUnivIn, pick(cities))
+		literalFact(u, RelInception, fmt.Sprintf("%d", 1200+rng.Intn(800)))
+	}
+	for i, a := range awards {
+		entityFact(a, RelAwardFor, fields[i%len(fields)])
+	}
+
+	// --- People ---
+	// Birthplaces correlate with prominence: famous people cluster in
+	// famous cities. This keeps multi-hop chains anchored at head entities
+	// inside head territory, which is why QALD-style questions are kinder
+	// to parametric recall than uniform SimpleQuestions samples.
+	personField := make(map[int]int, len(people))
+	for i, p := range people {
+		rankFrac := float64(i) / float64(len(people))
+		cityCap := 1 + int(rankFrac*float64(len(cities)-1))
+		city := cities[rng.Intn(cityCap)]
+		entityFact(p, RelBornIn, city)
+		entityFact(p, RelCitizenOf, cityCountry[city])
+		literalFact(p, RelBirthDate, fmt.Sprintf("%04d-%02d-%02d",
+			1850+rng.Intn(150), 1+rng.Intn(12), 1+rng.Intn(28)))
+		f := fields[i%len(fields)]
+		personField[p] = f
+		entityFact(p, RelFieldOfWork, f)
+		entityFact(p, RelOccupation, f)
+		entityFact(p, RelEducatedAt, pick(universities))
+		// Award probability tied to field-aligned awards: notable people
+		// in a field tend to win that field's award.
+		if rng.Intn(100) < 45 {
+			entityFact(p, RelAward, awards[(i%len(fields))%len(awards)])
+			if rng.Intn(100) < 25 {
+				entityFact(p, RelAward, pick(awards))
+			}
+		}
+	}
+
+	// --- Works (each created by a person, genre = creator's field) ---
+	for i, wk := range works {
+		creator := people[i%len(people)]
+		entityFact(wk, RelCreator, creator)
+		entityFact(creator, RelNotableWork, wk)
+		entityFact(wk, RelGenre, personField[creator])
+		literalFact(wk, RelPubYear, fmt.Sprintf("%d", 1900+rng.Intn(124)))
+	}
+
+	// --- Companies ---
+	for i, c := range companies {
+		entityFact(c, RelFoundedBy, people[(i*7)%len(people)])
+		entityFact(c, RelHeadquarters, pick(cities))
+		entityFact(c, RelIndustry, fields[i%len(fields)])
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			entityFact(c, RelProduct, pick(works))
+		}
+	}
+
+	w.index()
+	return w, nil
+}
+
+// MustGenerate is Generate but panics on config error; convenient in tests
+// and examples where the config is a literal.
+func MustGenerate(cfg Config) *World {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

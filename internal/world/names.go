@@ -1,0 +1,234 @@
+package world
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// namer synthesises distinct, pronounceable entity names per kind. Full
+// names are unique within a world, but their component words are drawn
+// from shared pools — many people share a surname, many cities share a
+// base word, lakes and rivers reuse the same hydronyms. This token
+// sharing matters: real KGs are full of near-collisions, and question-level
+// semantic retrieval (the RAG baseline) has to disambiguate among entities
+// that share name tokens, while atomic pseudo-triple queries carry extra
+// relation/object signal. Globally unique tokens would hand every
+// retrieval method a free ride.
+type namer struct {
+	rng  *rand.Rand
+	used map[string]bool
+
+	firstPool   []string
+	surnamePool []string
+	placePool   []string
+	hydroPool   []string
+	orgPool     []string
+}
+
+const (
+	firstPoolSize   = 60
+	surnamePoolSize = 80
+	placePoolSize   = 70
+	hydroPoolSize   = 50
+	orgPoolSize     = 60
+)
+
+func newNamer(rng *rand.Rand) *namer {
+	n := &namer{rng: rng, used: make(map[string]bool)}
+	n.firstPool = n.wordPool(firstPoolSize)
+	n.surnamePool = n.wordPool(surnamePoolSize)
+	n.placePool = n.wordPool(placePoolSize)
+	n.hydroPool = n.wordPool(hydroPoolSize)
+	n.orgPool = n.wordPool(orgPoolSize)
+	return n
+}
+
+// wordPool generates size distinct capitalised words.
+func (n *namer) wordPool(size int) []string {
+	pool := make([]string, 0, size)
+	seen := map[string]bool{}
+	for len(pool) < size {
+		w := n.word()
+		if !seen[w] {
+			seen[w] = true
+			pool = append(pool, w)
+		}
+	}
+	return pool
+}
+
+var (
+	onsets = []string{"b", "br", "d", "dr", "f", "g", "gr", "h", "k", "kl", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "z", "sh", "th"}
+	vowels = []string{"a", "e", "i", "o", "u", "ai", "ea", "ia", "or", "el"}
+	codas  = []string{"", "l", "n", "r", "s", "t", "m", "nd", "rk", "x"}
+
+	surnSuf    = []string{"", "", "son", "man", "berg", "ton", "ell", "ard", "wick", "stein"}
+	cityPre    = []string{"", "", "", "North ", "South ", "East ", "West ", "Port ", "New "}
+	citySuf    = []string{"burg", "ville", "ton", "ford", "haven", "port", "stad", "field", "mouth", "gate"}
+	countrySuf = []string{"ia", "land", "stan", "ora", "ania", "esia"}
+	mountSuf   = []string{" Mountains", " Range", " Highlands", " Peaks"}
+	compSuf    = []string{" Corp", " Systems", " Industries", " Labs", " Group", " Dynamics"}
+	workPre    = []string{"The ", ""}
+	workSuf    = []string{" Principle", " Machine", " Chronicle", " Method", " Engine", " Atlas", " Codex", " Theorem"}
+	awardPre   = []string{"", "Grand ", "International "}
+	awardSuf   = []string{" Prize", " Medal", " Award"}
+	fieldBases = []string{
+		"artificial intelligence", "quantum computing", "marine biology",
+		"astrophysics", "computational linguistics", "volcanology",
+		"cryptography", "neuroscience", "paleontology", "robotics",
+		"materials science", "epidemiology", "glaciology", "seismology",
+		"oceanography", "genomics", "meteorology", "archaeology",
+		"nanotechnology", "bioinformatics", "ecology", "immunology",
+		"photonics", "hydrology", "entomology", "virology",
+		"crystallography", "ornithology", "toxicology", "mycology",
+	}
+	langBases = []string{
+		"Velsh", "Dorman", "Kentish", "Auric", "Bravani", "Celsan",
+		"Drovic", "Elmarin", "Fentese", "Gorlic", "Halvian", "Istrian",
+		"Jorvic", "Karelic", "Lumbrian", "Morvan", "Norric", "Ostalian",
+		"Pellian", "Quorish", "Rendic", "Solvene", "Tarvish", "Ulmic",
+	}
+	continentNames = []string{"Aurelia", "Borvia", "Casteria", "Dromund", "Eastrel", "Feronia"}
+)
+
+// syllable emits one onset+vowel(+coda) syllable.
+func (n *namer) syllable(withCoda bool) string {
+	s := onsets[n.rng.Intn(len(onsets))] + vowels[n.rng.Intn(len(vowels))]
+	if withCoda {
+		s += codas[n.rng.Intn(len(codas))]
+	}
+	return s
+}
+
+// word emits a capitalised 2-3 syllable word.
+func (n *namer) word() string {
+	syls := 2 + n.rng.Intn(2)
+	var b strings.Builder
+	for i := 0; i < syls; i++ {
+		b.WriteString(n.syllable(i == syls-1))
+	}
+	w := b.String()
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+// unique retries gen until an unused name appears; after sustained
+// collision pressure it appends a numeral suffix.
+func (n *namer) unique(gen func() string) string {
+	for i := 0; ; i++ {
+		name := gen()
+		if i > 200 {
+			name += " II"
+		}
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+// Person returns a "First Last" name with pooled components.
+func (n *namer) Person() string {
+	return n.unique(func() string {
+		first := pick(n.rng, n.firstPool)
+		last := pick(n.rng, n.surnamePool) + surnSuf[n.rng.Intn(len(surnSuf))]
+		return first + " " + last
+	})
+}
+
+// City returns a city name with pooled base words.
+func (n *namer) City() string {
+	return n.unique(func() string {
+		return cityPre[n.rng.Intn(len(cityPre))] +
+			pick(n.rng, n.placePool) + citySuf[n.rng.Intn(len(citySuf))]
+	})
+}
+
+// Country returns a country name.
+func (n *namer) Country() string {
+	return n.unique(func() string {
+		return pick(n.rng, n.placePool) + countrySuf[n.rng.Intn(len(countrySuf))]
+	})
+}
+
+// Continent returns one of the fixed continent names, cycling.
+func (n *namer) Continent(i int) string {
+	name := continentNames[i%len(continentNames)]
+	n.used[name] = true
+	return name
+}
+
+// Lake returns "Lake X" with X from the shared hydronym pool.
+func (n *namer) Lake() string {
+	return n.unique(func() string { return "Lake " + pick(n.rng, n.hydroPool) })
+}
+
+// Mountain returns a mountain-range name.
+func (n *namer) Mountain() string {
+	return n.unique(func() string {
+		return "The " + pick(n.rng, n.placePool) + mountSuf[n.rng.Intn(len(mountSuf))]
+	})
+}
+
+// River returns "X River" with X from the shared hydronym pool.
+func (n *namer) River() string {
+	return n.unique(func() string { return pick(n.rng, n.hydroPool) + " River" })
+}
+
+// Company returns a company name with pooled org words.
+func (n *namer) Company() string {
+	return n.unique(func() string {
+		return pick(n.rng, n.orgPool) + compSuf[n.rng.Intn(len(compSuf))]
+	})
+}
+
+// University returns a university name, reusing place-pool words so that
+// universities collide lexically with cities, as real ones do.
+func (n *namer) University() string {
+	return n.unique(func() string {
+		if n.rng.Intn(2) == 0 {
+			return "University of " + pick(n.rng, n.placePool)
+		}
+		return pick(n.rng, n.placePool) + " University"
+	})
+}
+
+// Work returns the title of a created work/product.
+func (n *namer) Work() string {
+	return n.unique(func() string {
+		return workPre[n.rng.Intn(len(workPre))] + pick(n.rng, n.orgPool) + workSuf[n.rng.Intn(len(workSuf))]
+	})
+}
+
+// Award returns an award name.
+func (n *namer) Award() string {
+	return n.unique(func() string {
+		return awardPre[n.rng.Intn(len(awardPre))] + pick(n.rng, n.surnamePool) + awardSuf[n.rng.Intn(len(awardSuf))]
+	})
+}
+
+// Field returns a research-field name; the fixed pool is extended with
+// synthesised "applied X" variants when exhausted.
+func (n *namer) Field(i int) string {
+	if i < len(fieldBases) {
+		name := fieldBases[i]
+		n.used[name] = true
+		return name
+	}
+	return n.unique(func() string {
+		return "applied " + strings.ToLower(n.word()) + " studies"
+	})
+}
+
+// Language returns a language name.
+func (n *namer) Language(i int) string {
+	if i < len(langBases) {
+		name := langBases[i]
+		n.used[name] = true
+		return name
+	}
+	return n.unique(func() string { return n.word() + "ese" })
+}

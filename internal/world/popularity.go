@@ -1,0 +1,52 @@
+package world
+
+// Popularity returns a deterministic prominence score in (0, 1] for an
+// entity: earlier-created entities within each kind are more prominent,
+// following the long-tail structure of real KGs (a few head entities carry
+// most mentions). The simulated LLM's chance of knowing a fact grows with
+// the popularity of the fact's subject, which is what makes a
+// SimpleQuestions-style uniform sample (tail-heavy) harder for parametric
+// recall than a QALD-style head-entity sample — the inversion visible in
+// the paper's Table II (IO: 20.2 on SimpleQuestions vs 38.7 on QALD-10).
+func (w *World) Popularity(entityID int) float64 {
+	if entityID < 0 || entityID >= len(w.Entities) {
+		return 0
+	}
+	e := w.Entities[entityID]
+	kindIDs := w.byKind[e.Kind]
+	if len(kindIDs) == 0 {
+		return 0
+	}
+	rank := 0
+	for i, id := range kindIDs {
+		if id == entityID {
+			rank = i
+			break
+		}
+	}
+	// Zipf-flavoured decay: head entities near 1, tail entities near 0.15.
+	frac := float64(rank) / float64(len(kindIDs))
+	return 1.0 - 0.85*frac
+}
+
+// FactPopularity scores a fact by its subject's prominence.
+func (w *World) FactPopularity(f Fact) float64 {
+	return w.Popularity(f.Subject)
+}
+
+// HeadEntities returns the most prominent frac (0..1] of entities of a
+// kind, in creation order. Dataset builders use it to sample QALD-style
+// head-entity questions.
+func (w *World) HeadEntities(k Kind, frac float64) []int {
+	ids := w.byKind[k]
+	n := int(float64(len(ids)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make([]int, n)
+	copy(out, ids[:n])
+	return out
+}

@@ -1,0 +1,59 @@
+package world
+
+import (
+	"strings"
+
+	"repro/internal/propgraph"
+)
+
+// BuildPropGraph materialises the world as a property graph: one node per
+// entity (labelled by kind, CamelCase), literal facts as node properties
+// (snake_case keys), entity facts as typed relationships (SHOUTY_SNAKE
+// types from the canonical relation keys). Time-varying facts keep only
+// the current revision as the property value. This is what cmd/cyphersh
+// queries interactively — the Neo4j-substitute demo.
+func BuildPropGraph(w *World) *propgraph.Graph {
+	g := propgraph.New()
+	nodeOf := make([]int, len(w.Entities))
+	for _, e := range w.Entities {
+		n := g.CreateNode(
+			[]string{camelLabel(e.Kind.String())},
+			map[string]propgraph.Value{"name": propgraph.StringValue(e.Name)},
+		)
+		nodeOf[e.ID] = n.ID
+	}
+	for _, e := range w.Entities {
+		node, _ := g.Node(nodeOf[e.ID])
+		for _, f := range w.FactsOf(e.ID) {
+			info, _ := RelByKey(f.Rel)
+			if f.ObjectIsEntity() {
+				// Time-varying entity facts do not occur; add every edge.
+				_, _ = g.CreateRel(nodeOf[e.ID], nodeOf[f.Object], shoutyType(f.Rel), nil)
+				continue
+			}
+			if info.TimeVarying {
+				// Keep only the current revision as the property.
+				if cur, ok := w.CurrentFact(e.ID, f.Rel); ok && cur.ID == f.ID {
+					node.Props[string(f.Rel)] = propgraph.StringValue(f.Literal)
+				}
+				continue
+			}
+			node.Props[string(f.Rel)] = propgraph.StringValue(f.Literal)
+		}
+	}
+	return g
+}
+
+// camelLabel turns "mountain range" into "MountainRange".
+func camelLabel(kind string) string {
+	parts := strings.Fields(kind)
+	for i, p := range parts {
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "")
+}
+
+// shoutyType turns "born_in" into "BORN_IN".
+func shoutyType(rel RelKey) string {
+	return strings.ToUpper(string(rel))
+}

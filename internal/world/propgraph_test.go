@@ -1,0 +1,89 @@
+package world
+
+import (
+	"testing"
+
+	"repro/internal/cypher"
+)
+
+func TestBuildPropGraph(t *testing.T) {
+	w := MustGenerate(smallConfig())
+	g := BuildPropGraph(w)
+	if g.NodeCount() != len(w.Entities) {
+		t.Fatalf("nodes = %d, want %d", g.NodeCount(), len(w.Entities))
+	}
+	// Every entity-valued fact becomes a relationship.
+	wantRels := 0
+	for _, f := range w.Facts {
+		if f.ObjectIsEntity() {
+			wantRels++
+		}
+	}
+	if g.RelCount() != wantRels {
+		t.Errorf("rels = %d, want %d", g.RelCount(), wantRels)
+	}
+	// Kind labels are CamelCase.
+	if n := len(g.NodesByLabel("MountainRange")); n != smallConfig().Mountains {
+		t.Errorf("MountainRange nodes = %d, want %d", n, smallConfig().Mountains)
+	}
+	// Time-varying properties keep only the current value.
+	city := w.Entities[w.OfKind(KindCity)[0]]
+	cur, _ := w.CurrentFact(city.ID, RelPopulation)
+	found := false
+	for _, n := range g.NodesByLabel("City") {
+		if n.Name() == city.Name {
+			found = true
+			if v, ok := n.Props["population"]; !ok || v.String() != cur.Literal {
+				t.Errorf("city population = %v, want %q", v, cur.Literal)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("city %q not in graph", city.Name)
+	}
+}
+
+func TestPropGraphQueryable(t *testing.T) {
+	w := MustGenerate(smallConfig())
+	g := BuildPropGraph(w)
+	// Replay into an executor (as cmd/cyphersh does) and query one hop.
+	ex := cypher.NewExecutor()
+	target := ex.Graph()
+	for _, n := range g.Nodes() {
+		target.CreateNode(n.Labels, n.Props)
+	}
+	for _, r := range g.Rels() {
+		if _, err := target.CreateRel(r.From, r.To, r.Type, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	script, err := cypher.Parse("MATCH (m:MountainRange)-[:COVERS]->(c:Country) RETURN m.name, c.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ex.Query(script.Statements[0].(*cypher.MatchStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(w.FactsByRel(RelCovers))
+	if len(rows) != wantRows {
+		t.Errorf("query returned %d rows, want %d", len(rows), wantRows)
+	}
+	for _, row := range rows {
+		if len(row.Values) != 2 || row.Values[0] == "" || row.Values[1] == "" {
+			t.Fatalf("bad row: %v", row.Values)
+		}
+	}
+}
+
+func TestCamelAndShouty(t *testing.T) {
+	if camelLabel("mountain range") != "MountainRange" {
+		t.Error("camelLabel wrong")
+	}
+	if camelLabel("city") != "City" {
+		t.Error("camelLabel single word wrong")
+	}
+	if shoutyType(RelBornIn) != "BORN_IN" {
+		t.Error("shoutyType wrong")
+	}
+}
