@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -45,7 +46,7 @@ func runCell(b *testing.B, method, model string, ds *qa.Dataset, src kg.Source) 
 	env := sharedEnv(b)
 	var score float64
 	for i := 0; i < b.N; i++ {
-		cell, err := env.Run(method, model, ds, src)
+		cell, err := env.Run(context.Background(), method, model, ds, src)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkFig2PseudoGraphAccuracy(b *testing.B) {
 	var res bench.Fig2Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = bench.Fig2(env, io.Discard)
+		res, err = bench.Fig2(context.Background(), env, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkAblationConfidenceThreshold(b *testing.B) {
 			}
 			var score float64
 			for i := 0; i < b.N; i++ {
-				cell, err := swept.Run(bench.MethodOurs, bench.ModelGPT35,
+				cell, err := swept.Run(context.Background(), bench.MethodOurs, bench.ModelGPT35,
 					env.Suite.QALD, kg.SourceWikidata)
 				if err != nil {
 					b.Fatal(err)
@@ -183,7 +184,7 @@ func BenchmarkAblationTopK(b *testing.B) {
 			}
 			var score float64
 			for i := 0; i < b.N; i++ {
-				cell, err := swept.Run(bench.MethodOurs, bench.ModelGPT35,
+				cell, err := swept.Run(context.Background(), bench.MethodOurs, bench.ModelGPT35,
 					env.Suite.Simple, kg.SourceFreebase)
 				if err != nil {
 					b.Fatal(err)
@@ -207,7 +208,7 @@ func BenchmarkPipelineSingleQuestion(b *testing.B) {
 	q := env.Suite.QALD.Questions[0].Text
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Answer(q); err != nil {
+		if _, err := p.Answer(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,13 +233,13 @@ func BenchmarkCypherDecode(b *testing.B) {
 		b.Fatal(err)
 	}
 	var tr core.Trace
-	if _, err := p.GeneratePseudoGraph(env.Suite.QALD.Questions[0].Text, &tr); err != nil {
+	if _, err := p.GeneratePseudoGraph(context.Background(), env.Suite.QALD.Questions[0].Text, &tr); err != nil {
 		b.Fatal(err)
 	}
 	code := tr.PseudoCode
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.GeneratePseudoGraph(env.Suite.QALD.Questions[0].Text, nil); err != nil {
+		if _, err := p.GeneratePseudoGraph(context.Background(), env.Suite.QALD.Questions[0].Text, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -260,7 +261,7 @@ func BenchmarkAblationPruneStrategy(b *testing.B) {
 			}
 			var score float64
 			for i := 0; i < b.N; i++ {
-				cell, err := swept.Run(bench.MethodOurs, bench.ModelGPT35,
+				cell, err := swept.Run(context.Background(), bench.MethodOurs, bench.ModelGPT35,
 					env.Suite.QALD, kg.SourceWikidata)
 				if err != nil {
 					b.Fatal(err)
@@ -291,7 +292,7 @@ func BenchmarkAblationContextOrder(b *testing.B) {
 			}
 			var score float64
 			for i := 0; i < b.N; i++ {
-				cell, err := swept.Run(bench.MethodOurs, bench.ModelGPT35,
+				cell, err := swept.Run(context.Background(), bench.MethodOurs, bench.ModelGPT35,
 					env.Suite.QALD, kg.SourceWikidata)
 				if err != nil {
 					b.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,16 +24,23 @@ func main() {
 	quick := flag.Bool("quick", false, "use the small test-scale environment")
 	seed := flag.Int64("seed", 42, "world/model seed")
 	workers := flag.Int("workers", 8, "evaluation parallelism")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	csvPath := flag.String("csv", "", "also write a machine-readable CSV of every Table II cell to this path")
 	flag.Parse()
 
-	if err := run(*experiment, *quick, *seed, *workers, *csvPath); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *experiment, *quick, *seed, *workers, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, seed int64, workers int, csvPath string) error {
+func run(ctx context.Context, experiment string, quick bool, seed int64, workers int, csvPath string) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -60,17 +68,17 @@ func run(experiment string, quick bool, seed int64, workers int, csvPath string)
 		case "table1":
 			bench.Table1(out)
 		case "fig2":
-			_, err = bench.Fig2(env, out)
+			_, err = bench.Fig2(ctx, env, out)
 		case "table2":
-			err = bench.Table2(env, out)
+			err = bench.Table2(ctx, env, out)
 		case "table3":
-			err = bench.Table3(env, out)
+			err = bench.Table3(ctx, env, out)
 		case "table4":
-			err = bench.Table4(env, out)
+			err = bench.Table4(ctx, env, out)
 		case "table5":
-			err = bench.Table5(env, out)
+			err = bench.Table5(ctx, env, out)
 		case "sweeps":
-			err = bench.Sweeps(env, out)
+			err = bench.Sweeps(ctx, env, out)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -92,7 +100,7 @@ func run(experiment string, quick bool, seed int64, workers int, csvPath string)
 	}
 
 	if csvPath != "" {
-		if err := writeCSVReport(env, csvPath); err != nil {
+		if err := writeCSVReport(ctx, env, csvPath); err != nil {
 			return err
 		}
 		fmt.Println("CSV report written to", csvPath)
@@ -102,7 +110,7 @@ func run(experiment string, quick bool, seed int64, workers int, csvPath string)
 
 // writeCSVReport re-runs every Table II cell through the Report collector
 // (cells are cheap; the environment is already warm) and writes CSV.
-func writeCSVReport(env *bench.Env, path string) error {
+func writeCSVReport(ctx context.Context, env *bench.Env, path string) error {
 	r := &bench.Report{Title: "table2"}
 	for _, model := range []string{bench.ModelGPT35, bench.ModelGPT4} {
 		for _, method := range []string{bench.MethodToG, bench.MethodIO, bench.MethodCoT, bench.MethodSC, bench.MethodRAG, bench.MethodOurs} {
@@ -110,7 +118,7 @@ func writeCSVReport(env *bench.Env, path string) error {
 				if method == bench.MethodToG && ds == "NatureQuestions" {
 					continue
 				}
-				if err := r.Collect(env, method, model, ds); err != nil {
+				if err := r.Collect(ctx, env, method, model, ds); err != nil {
 					return err
 				}
 			}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,7 +89,7 @@ func run(dataset, model, kgSource string, n int, quick, verbose bool) error {
 	stages := map[string]int{}
 	right := 0
 	for _, q := range questions {
-		res, err := p.Answer(q.Text)
+		res, err := p.Answer(context.Background(), q.Text)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,87 @@
+// Command pgakvd serves the answer registry over HTTP JSON — the
+// production-facing front door of the reproduction. It assembles the
+// synthetic environment once at startup and then answers questions with
+// any registered method over either KG schema.
+//
+// Usage:
+//
+//	pgakvd [-addr :8080] [-quick] [-seed 42] [-workers 8] [-timeout 30s]
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /v1/methods
+//	POST /v1/answer  {"question": "...", "method": "ours", "model": "gpt4"}
+//	POST /v1/batch   {"method": "cot", "queries": [{"question": "..."}, ...]}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	quick := flag.Bool("quick", false, "use the small test-scale environment (fast startup)")
+	seed := flag.Int64("seed", 42, "world/model seed")
+	workers := flag.Int("workers", 8, "default batch parallelism")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline (0 = none)")
+	flag.Parse()
+
+	if err := run(*addr, *quick, *seed, *workers, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "pgakvd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration) error {
+	cfg := bench.DefaultEnvConfig()
+	if quick {
+		cfg = bench.QuickEnvConfig()
+	}
+	cfg.WorldSeed = seed
+	cfg.Workers = workers
+
+	start := time.Now()
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("environment ready in %v: %s\n", time.Since(start).Round(time.Millisecond), env.World.Stats())
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewServer(env, timeout).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		fmt.Printf("received %v, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

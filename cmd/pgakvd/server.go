@@ -1,0 +1,358 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/answer"
+	"repro/internal/bench"
+	"repro/internal/kg"
+)
+
+// Server exposes the answer registry over HTTP JSON. Routes:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/methods  registered methods, models and KG sources
+//	POST /v1/answer   answer one question
+//	POST /v1/batch    answer many questions with a worker pool
+//
+// Every handler honours the request context: a disconnecting client or an
+// expiring per-request timeout cancels the in-flight pipeline run.
+type Server struct {
+	env *bench.Env
+	// timeout caps each /v1/answer run and each /v1/batch overall (0 =
+	// unbounded).
+	timeout time.Duration
+	// maxBatch bounds /v1/batch size.
+	maxBatch int
+	// maxConcurrency bounds the per-batch worker pool.
+	maxConcurrency int
+}
+
+// NewServer wraps an assembled bench environment.
+func NewServer(env *bench.Env, timeout time.Duration) *Server {
+	return &Server{env: env, timeout: timeout, maxBatch: 256, maxConcurrency: 32}
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+// --- wire types ---
+
+// answerRequest is the /v1/answer body; queryItem is its reusable core,
+// shared with batch items.
+type queryItem struct {
+	Question string   `json:"question"`
+	Open     bool     `json:"open,omitempty"`
+	Anchors  []string `json:"anchors,omitempty"`
+}
+
+type answerRequest struct {
+	queryItem
+	Method       string `json:"method,omitempty"` // default "ours"
+	Model        string `json:"model,omitempty"`  // gpt3.5|gpt4
+	KG           string `json:"kg,omitempty"`     // wikidata|freebase
+	IncludeTrace bool   `json:"include_trace,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+}
+
+type answerResponse struct {
+	Answer           string     `json:"answer"`
+	Method           string     `json:"method"`
+	Model            string     `json:"model"`
+	KG               string     `json:"kg"`
+	LLMCalls         int        `json:"llm_calls"`
+	PromptTokens     int        `json:"prompt_tokens"`
+	CompletionTokens int        `json:"completion_tokens"`
+	ElapsedMS        int64      `json:"elapsed_ms"`
+	Trace            *traceWire `json:"trace,omitempty"`
+}
+
+type traceWire struct {
+	Gp           []string `json:"gp,omitempty"`
+	Gg           []string `json:"gg,omitempty"`
+	Gf           []string `json:"gf,omitempty"`
+	KeptSubjects []string `json:"kept_subjects,omitempty"`
+	PseudoError  string   `json:"pseudo_error,omitempty"`
+}
+
+type batchRequest struct {
+	Method      string      `json:"method,omitempty"`
+	Model       string      `json:"model,omitempty"`
+	KG          string      `json:"kg,omitempty"`
+	Concurrency int         `json:"concurrency,omitempty"`
+	Queries     []queryItem `json:"queries"`
+}
+
+type batchItemResponse struct {
+	Index  int             `json:"index"`
+	Result *answerResponse `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Class  string          `json:"class,omitempty"`
+}
+
+type batchResponse struct {
+	Method    string              `json:"method"`
+	Model     string              `json:"model"`
+	KG        string              `json:"kg"`
+	N         int                 `json:"n"`
+	Failed    int                 `json:"failed"`
+	ElapsedMS int64               `json:"elapsed_ms"`
+	Items     []batchItemResponse `json:"items"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	type methodInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var methods []methodInfo
+	for _, name := range answer.Names() {
+		desc, _ := answer.Describe(name)
+		methods = append(methods, methodInfo{Name: name, Description: desc})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"methods":    methods,
+		"models":     []string{"gpt3.5", "gpt4"},
+		"kg_sources": []string{"wikidata", "freebase"},
+	})
+}
+
+// maxBodyBytes bounds request bodies before JSON decoding.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+		return
+	}
+	ans, model, src, err := s.resolve(req.Method, req.Model, req.KG)
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.timeout
+	if req.TimeoutMS > 0 {
+		// A client may tighten the deadline but never loosen it past the
+		// operator's cap.
+		requested := time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout == 0 || requested < timeout {
+			timeout = requested
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := ans.Answer(ctx, answer.Query{
+		Text:    req.Question,
+		Method:  ans.Name(),
+		Model:   model,
+		Open:    req.Open,
+		Anchors: req.Anchors,
+	})
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(res, src, req.IncludeTrace))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, errors.New("batch has no queries"), answer.ClassInvalidQuery)
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		writeError(w, fmt.Errorf("batch of %d exceeds the limit of %d", len(req.Queries), s.maxBatch), answer.ClassInvalidQuery)
+		return
+	}
+	ans, model, src, err := s.resolve(req.Method, req.Model, req.KG)
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	workers := req.Concurrency
+	if workers < 1 {
+		workers = s.env.Cfg.Workers
+	}
+	if workers > s.maxConcurrency {
+		workers = s.maxConcurrency
+	}
+
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	queries := make([]answer.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = answer.Query{
+			Text:    q.Question,
+			Method:  ans.Name(),
+			Model:   model,
+			Open:    q.Open,
+			Anchors: q.Anchors,
+		}
+	}
+	start := time.Now()
+	items := answer.Batch(ctx, ans, queries, answer.Concurrency(workers))
+
+	resp := batchResponse{
+		Method:    ans.Name(),
+		Model:     model,
+		KG:        src.String(),
+		N:         len(items),
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	for _, item := range items {
+		wireItem := batchItemResponse{Index: item.Index}
+		if item.Err != nil {
+			resp.Failed++
+			wireItem.Error = item.Err.Error()
+			wireItem.Class = string(item.Class)
+		} else {
+			wire := toWire(item.Result, src, false)
+			wireItem.Result = &wire
+		}
+		resp.Items = append(resp.Items, wireItem)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolve maps the request's method/model/kg labels onto a bound Answerer.
+func (s *Server) resolve(method, model, source string) (answer.Answerer, string, kg.Source, error) {
+	if method == "" {
+		method = "ours"
+	}
+	modelName, err := resolveModel(model)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	src := kg.SourceWikidata
+	if source != "" {
+		if src, err = kg.ParseSource(source); err != nil {
+			return nil, "", 0, &answer.InvalidQueryError{Reason: err.Error()}
+		}
+	}
+	ans, err := s.env.Answerer(method, modelName, src)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return ans, modelName, src, nil
+}
+
+// resolveModel maps user-facing model labels onto the bench model table.
+func resolveModel(model string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(model)) {
+	case "", "gpt3.5", "gpt-3.5", "gpt35":
+		return bench.ModelGPT35, nil
+	case "gpt4", "gpt-4":
+		return bench.ModelGPT4, nil
+	default:
+		return "", &answer.InvalidQueryError{Reason: fmt.Sprintf("unknown model %q (want gpt3.5 or gpt4)", model)}
+	}
+}
+
+// toWire converts a Result to its JSON form.
+func toWire(res answer.Result, src kg.Source, includeTrace bool) answerResponse {
+	out := answerResponse{
+		Answer:           res.Answer,
+		Method:           res.Method,
+		Model:            res.Model,
+		KG:               src.String(),
+		LLMCalls:         res.LLMCalls,
+		PromptTokens:     res.PromptTokens,
+		CompletionTokens: res.CompletionTokens,
+		ElapsedMS:        res.Elapsed.Milliseconds(),
+	}
+	if includeTrace && res.Trace != nil {
+		tw := &traceWire{}
+		if res.Trace.Gp != nil {
+			for _, t := range res.Trace.Gp.Triples {
+				tw.Gp = append(tw.Gp, t.String())
+			}
+		}
+		if res.Trace.Gg != nil {
+			for _, t := range res.Trace.Gg.Triples {
+				tw.Gg = append(tw.Gg, t.String())
+			}
+		}
+		if res.Trace.Gf != nil {
+			for _, t := range res.Trace.Gf.Triples {
+				tw.Gf = append(tw.Gf, t.String())
+			}
+		}
+		for _, sc := range res.Trace.Kept {
+			tw.KeptSubjects = append(tw.KeptSubjects, fmt.Sprintf("%s (%.3f)", sc.Subject, sc.Confidence))
+		}
+		if res.Trace.PseudoErr != nil {
+			tw.PseudoError = res.Trace.PseudoErr.Error()
+		}
+		out.Trace = tw
+	}
+	return out
+}
+
+// statusFor maps error classes onto HTTP statuses.
+func statusFor(class answer.ErrorClass) int {
+	switch class {
+	case answer.ClassUnknownMethod, answer.ClassInvalidQuery:
+		return http.StatusBadRequest
+	case answer.ClassDeadline:
+		return http.StatusGatewayTimeout
+	case answer.ClassCanceled:
+		// 499: client closed request (nginx convention) — the client is
+		// usually gone, but batch-internal cancellations still surface it.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error, class answer.ErrorClass) {
+	writeJSON(w, statusFor(class), errorResponse{Error: err.Error(), Class: string(class)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,19 +31,19 @@ func main() {
 	questions := env.Suite.QALD.Questions[:10]
 	var cotRight, gpRight, gfRight int
 	for _, q := range questions {
-		cot, err := baselines.CoT(model, q.Text)
+		cot, err := baselines.CoT(context.Background(), model, q.Text)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gp, err := pipeline.GeneratePseudoGraph(q.Text, nil)
+		gp, err := pipeline.GeneratePseudoGraph(context.Background(), q.Text, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gpAnswer, err := pipeline.AnswerFromGraph(q.Text, gp, nil)
+		gpAnswer, err := pipeline.AnswerFromGraph(context.Background(), q.Text, gp, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		full, err := pipeline.Answer(q.Text)
+		full, err := pipeline.Answer(context.Background(), q.Text)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -79,7 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := pipeline.Answer("Who has the largest area of the Great Lakes in the United States?")
+	res, err := pipeline.Answer(context.Background(), "Who has the largest area of the Great Lakes in the United States?")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 		}
 		right := 0
 		for _, q := range questions {
-			res, err := pipeline.Answer(q.Text)
+			res, err := pipeline.Answer(context.Background(), q.Text)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,15 +33,15 @@ func main() {
 	for _, q := range env.Suite.Nature.Questions[:n] {
 		fmt.Println("Q:", q.Text)
 
-		cot, err := baselines.CoT(model, q.Text)
+		cot, err := baselines.CoT(context.Background(), model, q.Text)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rag, err := baselines.RAG(model, env.Indexes[src], q.Text, baselines.DefaultRAGConfig())
+		rag, err := baselines.RAG(context.Background(), model, env.Indexes[src], q.Text, baselines.DefaultRAGConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := pipeline.Answer(q.Text)
+		res, err := pipeline.Answer(context.Background(), q.Text)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	//    verification step must pick the latest value.
 	city := w.Entities[w.OfKind(world.KindCity)[3]]
 	question := fmt.Sprintf("What is the population of %s?", city.Name)
-	res, err := pipeline.Answer(question)
+	res, err := pipeline.Answer(context.Background(), question)
 	if err != nil {
 		log.Fatal(err)
 	}

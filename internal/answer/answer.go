@@ -1,0 +1,147 @@
+// Package answer is the unified method surface of the repository: every
+// QA method — the paper's PG&AKV pipeline and the five baselines of
+// Table II — is exposed as the same context-aware Answerer contract, built
+// through a registry (Register/New) and runnable in bulk with Batch.
+//
+// The package exists so that callers (the bench harness, the CLI tools,
+// the HTTP server, and any future scaling layer) speak one stable API
+// instead of hand-wiring each method's ad-hoc signature:
+//
+//	ans, err := answer.New("ours", deps)             // or "io", "cot", ...
+//	res, err := ans.Answer(ctx, answer.Query{Text: "Where was X born?"})
+//
+// All methods honour context cancellation and deadlines, report uniform
+// usage accounting (LLM calls, token estimates, wall time), and classify
+// failures into a small set of typed error classes for serving layers.
+package answer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Query is one question for an Answerer, with optional per-request
+// overrides. Method and Model are routing labels: a concrete Answerer is
+// already bound to a method and model, but servers and batch reports carry
+// them through for dispatch and attribution.
+type Query struct {
+	// Text is the question. Required.
+	Text string
+	// Method optionally names the registry method this query targets
+	// (used by dispatching layers; informational on a bound Answerer).
+	Method string
+	// Model optionally labels the backing model for attribution.
+	Model string
+	// Open marks an open-ended question (affects Self-Consistency
+	// aggregation: medoid instead of majority vote).
+	Open bool
+	// Anchors are the gold topic entities for anchor-based methods (ToG).
+	Anchors []string
+	// Overrides tune a single request without rebuilding the Answerer.
+	Overrides Overrides
+}
+
+// Overrides are per-request knobs; nil fields keep the Answerer's
+// configured defaults. Methods ignore overrides that do not apply to them.
+type Overrides struct {
+	// Temperature overrides the sampling temperature where the method
+	// samples (pipeline LLM calls, SC samples).
+	Temperature *float64
+	// TopK overrides retrieval depth (RAG question-level retrieval, the
+	// pipeline's per-triple semantic query).
+	TopK *int
+	// Samples overrides the Self-Consistency sample count.
+	Samples *int
+}
+
+// Result is the uniform outcome of one answered query.
+type Result struct {
+	// Answer is the method's final answer text.
+	Answer string
+	// Method and Model identify what produced the answer.
+	Method string
+	Model  string
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+	// LLMCalls / PromptTokens / CompletionTokens account every model call
+	// made on behalf of this query.
+	LLMCalls         int
+	PromptTokens     int
+	CompletionTokens int
+	// Trace carries the pipeline's intermediate artefacts for
+	// pipeline-backed methods ("ours", "ours-gp"); nil for the baselines.
+	Trace *core.Trace
+}
+
+// Answerer is the core contract: one method, bound to its dependencies,
+// answering questions under a context.
+type Answerer interface {
+	// Name returns the canonical registry name of the method.
+	Name() string
+	// Answer runs the method for one query. Cancellation or deadline
+	// expiry of ctx aborts the run at the next LLM call and returns the
+	// context's error.
+	Answer(ctx context.Context, q Query) (Result, error)
+}
+
+// ErrorClass buckets failures for serving layers (HTTP status mapping,
+// batch reports, retry policies).
+type ErrorClass string
+
+const (
+	// ClassNone means no error.
+	ClassNone ErrorClass = ""
+	// ClassCanceled: the caller cancelled the context.
+	ClassCanceled ErrorClass = "canceled"
+	// ClassDeadline: the context's deadline expired.
+	ClassDeadline ErrorClass = "deadline"
+	// ClassUnknownMethod: the registry has no such method.
+	ClassUnknownMethod ErrorClass = "unknown-method"
+	// ClassInvalidQuery: the query is malformed (e.g. empty text).
+	ClassInvalidQuery ErrorClass = "invalid-query"
+	// ClassUpstream: the LLM client or a pipeline stage failed.
+	ClassUpstream ErrorClass = "upstream"
+)
+
+// UnknownMethodError reports a name the registry does not know.
+type UnknownMethodError struct {
+	Name string
+}
+
+func (e *UnknownMethodError) Error() string {
+	return fmt.Sprintf("answer: unknown method %q (known: %v)", e.Name, Names())
+}
+
+// InvalidQueryError reports a malformed query.
+type InvalidQueryError struct {
+	Reason string
+}
+
+func (e *InvalidQueryError) Error() string {
+	return "answer: invalid query: " + e.Reason
+}
+
+// Classify maps an error from this package (or wrapping one) to its class.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassDeadline
+	}
+	var unknown *UnknownMethodError
+	if errors.As(err, &unknown) {
+		return ClassUnknownMethod
+	}
+	var invalid *InvalidQueryError
+	if errors.As(err, &invalid) {
+		return ClassInvalidQuery
+	}
+	return ClassUpstream
+}

@@ -1,0 +1,91 @@
+package answer
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is one query's outcome inside a batch. Failures are isolated
+// per item: Err and Class are set and the remaining items still run.
+type BatchItem struct {
+	// Index is the query's position in the input slice.
+	Index int
+	// Query echoes the input.
+	Query Query
+	// Result is valid when Err is nil.
+	Result Result
+	// Err is this item's failure, if any.
+	Err error
+	// Class buckets Err (ClassNone when Err is nil).
+	Class ErrorClass
+}
+
+// batchOptions configure Batch.
+type batchOptions struct {
+	workers int
+}
+
+// BatchOption mutates batch execution settings.
+type BatchOption func(*batchOptions)
+
+// Concurrency sets the worker-pool size (default: GOMAXPROCS, capped at
+// the batch size).
+func Concurrency(n int) BatchOption {
+	return func(o *batchOptions) { o.workers = n }
+}
+
+// Batch answers every query with a worker pool and per-item error
+// isolation: one failing query marks only its own item. Cancelling ctx
+// stops new work promptly — items not yet started are marked with the
+// context's error — and the returned slice always has one entry per input
+// query, in input order.
+func Batch(ctx context.Context, ans Answerer, queries []Query, opts ...BatchOption) []BatchItem {
+	o := batchOptions{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		o.workers = 1
+	}
+	if o.workers > len(queries) {
+		o.workers = len(queries)
+	}
+
+	items := make([]BatchItem, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				item := BatchItem{Index: i, Query: queries[i]}
+				if err := ctx.Err(); err != nil {
+					item.Err = err
+				} else {
+					item.Result, item.Err = ans.Answer(ctx, queries[i])
+				}
+				item.Class = Classify(item.Err)
+				items[i] = item
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return items
+}
+
+// FirstError returns the first (by input order) item error in a batch, or
+// nil — the convenience for callers that treat any failure as fatal.
+func FirstError(items []BatchItem) error {
+	for i := range items {
+		if items[i].Err != nil {
+			return items[i].Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package answer
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+// Config aliases keep the answer API self-contained: callers configure
+// methods without importing the baselines package.
+type (
+	// SCConfig parameterises Self-Consistency sampling.
+	SCConfig = baselines.SCConfig
+	// RAGConfig parameterises question-level retrieval.
+	RAGConfig = baselines.RAGConfig
+	// ToGConfig parameterises Think-on-Graph exploration.
+	ToGConfig = baselines.ToGConfig
+)
+
+// DefaultSCConfig returns the paper's Self-Consistency settings.
+func DefaultSCConfig() SCConfig { return baselines.DefaultSCConfig() }
+
+// DefaultRAGConfig returns the standard retrieval setting.
+func DefaultRAGConfig() RAGConfig { return baselines.DefaultRAGConfig() }
+
+// DefaultToGConfig returns the exploration settings used in the benches.
+func DefaultToGConfig() ToGConfig { return baselines.DefaultToGConfig() }
+
+// coreConfig applies per-request overrides to the configured pipeline
+// settings.
+func coreConfig(o Options, q Query) core.Config {
+	cfg := o.Core
+	if q.Overrides.Temperature != nil {
+		cfg.Temperature = *q.Overrides.Temperature
+	}
+	if q.Overrides.TopK != nil {
+		cfg.TopK = *q.Overrides.TopK
+	}
+	return cfg
+}
+
+// The built-in registrations: the paper's method (plus its Gp-only
+// ablation) and the five Table II baselines, in the paper's table order.
+func init() {
+	MustRegister(Registration{
+		Name:        "ours",
+		Aliases:     []string{"pgakv", "pg-akv"},
+		Description: "PG&AKV: pseudo-graph generation + atomic knowledge verification (the paper's method)",
+		NeedsStore:  true,
+		NeedsIndex:  true,
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			p, err := core.New(d.Client, d.Store, d.Index, coreConfig(o, q))
+			if err != nil {
+				return "", nil, err
+			}
+			res, err := p.Answer(ctx, q.Text)
+			if err != nil {
+				return "", nil, err
+			}
+			return res.Answer, &res.Trace, nil
+		},
+	})
+	MustRegister(Registration{
+		Name:        "ours-gp",
+		Aliases:     []string{"pgakv-gp"},
+		Description: "PG&AKV ablation: answer from the raw pseudo-graph Gp, skipping verification",
+		NeedsStore:  true,
+		NeedsIndex:  true,
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			p, err := core.New(d.Client, d.Store, d.Index, coreConfig(o, q))
+			if err != nil {
+				return "", nil, err
+			}
+			var tr core.Trace
+			tr.Question = q.Text
+			gp, err := p.GeneratePseudoGraph(ctx, q.Text, &tr)
+			if err != nil {
+				return "", nil, err
+			}
+			tr.Gp = gp
+			text, err := p.AnswerFromGraph(ctx, q.Text, gp, &tr)
+			if err != nil {
+				return "", nil, err
+			}
+			return text, &tr, nil
+		},
+	})
+	MustRegister(Registration{
+		Name:         "tog",
+		Description:  "Think-on-Graph: QID-anchored KG exploration with LLM relation pruning",
+		NeedsStore:   true,
+		NeedsEncoder: true,
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			if len(q.Anchors) == 0 {
+				return "", nil, &InvalidQueryError{Reason: "method tog needs anchor entities"}
+			}
+			text, err := baselines.ToG(ctx, d.Client, d.Store, d.Encoder, q.Text, q.Anchors, o.ToG)
+			return text, nil, err
+		},
+	})
+	MustRegister(Registration{
+		Name:        "io",
+		Description: "standard input-output prompting, 6 in-context examples",
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			text, err := baselines.IO(ctx, d.Client, q.Text)
+			return text, nil, err
+		},
+	})
+	MustRegister(Registration{
+		Name:        "cot",
+		Description: "chain-of-thought prompting",
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			text, err := baselines.CoT(ctx, d.Client, q.Text)
+			return text, nil, err
+		},
+	})
+	MustRegister(Registration{
+		Name:        "sc",
+		Description: fmt.Sprintf("self-consistency: %d CoT samples at temperature %.1f, voted", DefaultSCConfig().Samples, DefaultSCConfig().Temperature),
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			cfg := o.SC
+			if q.Overrides.Samples != nil {
+				cfg.Samples = *q.Overrides.Samples
+			}
+			if q.Overrides.Temperature != nil {
+				cfg.Temperature = *q.Overrides.Temperature
+			}
+			text, err := baselines.SC(ctx, d.Client, q.Text, q.Open, cfg)
+			return text, nil, err
+		},
+	})
+	MustRegister(Registration{
+		Name:        "rag",
+		Description: "question-level retrieval over the semantic KG",
+		NeedsIndex:  true,
+		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+			cfg := o.RAG
+			if q.Overrides.TopK != nil {
+				cfg.TopK = *q.Overrides.TopK
+			}
+			text, err := baselines.RAG(ctx, d.Client, d.Index, q.Text, cfg)
+			return text, nil, err
+		},
+	})
+}

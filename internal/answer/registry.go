@@ -1,0 +1,242 @@
+package answer
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/llm"
+	"repro/internal/vecstore"
+)
+
+// Deps are the substrates a method may need. Every method needs a Client;
+// the registry validates the rest per method (see Registration).
+type Deps struct {
+	// Client is the LLM backend. Required by every method.
+	Client llm.Client
+	// Store is the KG triple store (ToG exploration, pipeline gold-graph
+	// assembly).
+	Store *kg.Store
+	// Index is the vector index over the store (RAG, pipeline semantic
+	// query).
+	Index *vecstore.Index
+	// Encoder embeds text consistently with the index (ToG).
+	Encoder *embed.Encoder
+}
+
+// Options collects the per-method configuration an Answerer is built with.
+// Construct through functional options to New; zero values mean the
+// paper's defaults.
+type Options struct {
+	// Core configures pipeline-backed methods.
+	Core core.Config
+	// SC / RAG / ToG configure the respective baselines.
+	SC  SCConfig
+	RAG RAGConfig
+	ToG ToGConfig
+	// Model labels results for attribution; defaults to Client.Name().
+	Model string
+}
+
+// Option mutates Options (the functional-options pattern).
+type Option func(*Options)
+
+// WithCoreConfig sets the pipeline configuration for "ours"/"ours-gp".
+func WithCoreConfig(cfg core.Config) Option { return func(o *Options) { o.Core = cfg } }
+
+// WithSCConfig sets the Self-Consistency sampling configuration.
+func WithSCConfig(cfg SCConfig) Option { return func(o *Options) { o.SC = cfg } }
+
+// WithRAGConfig sets the question-level retrieval configuration.
+func WithRAGConfig(cfg RAGConfig) Option { return func(o *Options) { o.RAG = cfg } }
+
+// WithToGConfig sets the Think-on-Graph exploration configuration.
+func WithToGConfig(cfg ToGConfig) Option { return func(o *Options) { o.ToG = cfg } }
+
+// WithModelLabel overrides the model name reported in results.
+func WithModelLabel(name string) Option { return func(o *Options) { o.Model = name } }
+
+// RunFunc is a method implementation: answer one query with the given
+// dependencies and options. The returned trace is optional.
+type RunFunc func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error)
+
+// Registration declares one method for the registry.
+type Registration struct {
+	// Name is the canonical identifier (lower-case, e.g. "cot").
+	Name string
+	// Aliases resolve to this method too (e.g. "pgakv" -> "ours").
+	Aliases []string
+	// Description is a one-line human-readable summary.
+	Description string
+	// NeedsStore / NeedsIndex / NeedsEncoder are validated against Deps
+	// at construction time so misconfiguration fails fast, not mid-query.
+	NeedsStore   bool
+	NeedsIndex   bool
+	NeedsEncoder bool
+	// Run is the implementation.
+	Run RunFunc
+}
+
+// registry is the process-global method table, guarded for concurrent
+// Register/New from servers and tests.
+var registry = struct {
+	sync.RWMutex
+	order  []string
+	byName map[string]*Registration
+}{byName: map[string]*Registration{}}
+
+// Register adds a method. Names and aliases are case-insensitive and must
+// be unique across the registry.
+func Register(r Registration) error {
+	if r.Name == "" || r.Run == nil {
+		return fmt.Errorf("answer: registration needs a name and a run function")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	keys := append([]string{r.Name}, r.Aliases...)
+	for _, k := range keys {
+		if _, dup := registry.byName[strings.ToLower(k)]; dup {
+			return fmt.Errorf("answer: method %q already registered", k)
+		}
+	}
+	reg := r
+	for _, k := range keys {
+		registry.byName[strings.ToLower(k)] = &reg
+	}
+	registry.order = append(registry.order, strings.ToLower(r.Name))
+	return nil
+}
+
+// MustRegister is Register for package init blocks.
+func MustRegister(r Registration) {
+	if err := Register(r); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns the canonical method names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// Describe returns the one-line description of a method (or alias) and
+// whether it is registered.
+func Describe(name string) (string, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	r, ok := registry.byName[strings.ToLower(name)]
+	if !ok {
+		return "", false
+	}
+	return r.Description, true
+}
+
+// lookup resolves a name or alias.
+func lookup(name string) (*Registration, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	r, ok := registry.byName[strings.ToLower(name)]
+	return r, ok
+}
+
+// New builds the named method over the given dependencies. The name is
+// case-insensitive and may be an alias. Missing dependencies fail here,
+// with a typed *UnknownMethodError for names the registry does not know.
+func New(name string, deps Deps, opts ...Option) (Answerer, error) {
+	reg, ok := lookup(name)
+	if !ok {
+		return nil, &UnknownMethodError{Name: name}
+	}
+	if deps.Client == nil {
+		return nil, fmt.Errorf("answer: method %q needs an LLM client", reg.Name)
+	}
+	if reg.NeedsStore && deps.Store == nil {
+		return nil, fmt.Errorf("answer: method %q needs a KG store", reg.Name)
+	}
+	if reg.NeedsIndex && deps.Index == nil {
+		return nil, fmt.Errorf("answer: method %q needs a vector index", reg.Name)
+	}
+	if reg.NeedsEncoder && deps.Encoder == nil {
+		return nil, fmt.Errorf("answer: method %q needs an encoder", reg.Name)
+	}
+	o := Options{Core: core.DefaultConfig(), SC: DefaultSCConfig(), RAG: DefaultRAGConfig(), ToG: DefaultToGConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Model == "" {
+		o.Model = deps.Client.Name()
+	}
+	return &method{reg: reg, deps: deps, opts: o}, nil
+}
+
+// method binds a registration to dependencies and options; it is the
+// concrete Answerer every registry method shares.
+type method struct {
+	reg  *Registration
+	deps Deps
+	opts Options
+}
+
+// Name implements Answerer.
+func (m *method) Name() string { return m.reg.Name }
+
+// Answer implements Answerer: validate, wrap the client for usage
+// accounting, run the method, assemble the uniform result.
+func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
+	if strings.TrimSpace(q.Text) == "" {
+		return Result{}, &InvalidQueryError{Reason: "empty question text"}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	counter := &countingClient{inner: m.deps.Client}
+	deps := m.deps
+	deps.Client = counter
+
+	start := time.Now()
+	text, trace, err := m.reg.Run(ctx, deps, m.opts, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Answer:           text,
+		Method:           m.reg.Name,
+		Model:            m.opts.Model,
+		Elapsed:          time.Since(start),
+		LLMCalls:         int(counter.calls.Load()),
+		PromptTokens:     int(counter.promptTokens.Load()),
+		CompletionTokens: int(counter.completionTokens.Load()),
+		Trace:            trace,
+	}, nil
+}
+
+// countingClient tallies usage of every completion made on behalf of one
+// query; safe for the concurrent calls a method might make.
+type countingClient struct {
+	inner            llm.Client
+	calls            atomic.Int64
+	promptTokens     atomic.Int64
+	completionTokens atomic.Int64
+}
+
+// Name implements llm.Client.
+func (c *countingClient) Name() string { return c.inner.Name() }
+
+// Complete implements llm.Client, counting successful calls.
+func (c *countingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := c.inner.Complete(ctx, req)
+	if err == nil {
+		c.calls.Add(1)
+		c.promptTokens.Add(int64(resp.Usage.PromptTokens))
+		c.completionTokens.Add(int64(resp.Usage.CompletionTokens))
+	}
+	return resp, err
+}

@@ -6,9 +6,9 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/embed"
 	"repro/internal/kg"
@@ -20,8 +20,8 @@ import (
 
 // IO answers with the standard input-output prompt (6 in-context
 // examples), no reasoning elicitation.
-func IO(client llm.Client, question string) (string, error) {
-	resp, err := client.Complete(llm.Request{Prompt: prompts.IO(question)})
+func IO(ctx context.Context, client llm.Client, question string) (string, error) {
+	resp, err := client.Complete(ctx, llm.Request{Prompt: prompts.IO(question)})
 	if err != nil {
 		return "", fmt.Errorf("baselines: IO: %w", err)
 	}
@@ -29,8 +29,8 @@ func IO(client llm.Client, question string) (string, error) {
 }
 
 // CoT answers with chain-of-thought prompting.
-func CoT(client llm.Client, question string) (string, error) {
-	resp, err := client.Complete(llm.Request{Prompt: prompts.CoT(question)})
+func CoT(ctx context.Context, client llm.Client, question string) (string, error) {
+	resp, err := client.Complete(ctx, llm.Request{Prompt: prompts.CoT(question)})
 	if err != nil {
 		return "", fmt.Errorf("baselines: CoT: %w", err)
 	}
@@ -51,13 +51,13 @@ func DefaultSCConfig() SCConfig { return SCConfig{Samples: 3, Temperature: 0.7} 
 // aggregate. Precise answers vote on the normalised {marked} entity; open
 // answers take the medoid by pairwise ROUGE-L (the sample most consistent
 // with the others).
-func SC(client llm.Client, question string, open bool, cfg SCConfig) (string, error) {
+func SC(ctx context.Context, client llm.Client, question string, open bool, cfg SCConfig) (string, error) {
 	if cfg.Samples < 1 {
 		cfg = DefaultSCConfig()
 	}
 	samples := make([]string, 0, cfg.Samples)
 	for i := 0; i < cfg.Samples; i++ {
-		resp, err := client.Complete(llm.Request{
+		resp, err := client.Complete(ctx, llm.Request{
 			Prompt:      prompts.CoT(question),
 			Temperature: cfg.Temperature,
 			Nonce:       i,
@@ -134,7 +134,7 @@ func DefaultRAGConfig() RAGConfig { return RAGConfig{TopK: 5} }
 // pseudo-triples — that is the method's defining weakness on multi-hop
 // questions, where intermediate entities never appear in the question) and
 // answers from them.
-func RAG(client llm.Client, index *vecstore.Index, question string, cfg RAGConfig) (string, error) {
+func RAG(ctx context.Context, client llm.Client, index *vecstore.Index, question string, cfg RAGConfig) (string, error) {
 	if cfg.TopK <= 0 {
 		cfg = DefaultRAGConfig()
 	}
@@ -143,7 +143,7 @@ func RAG(client llm.Client, index *vecstore.Index, question string, cfg RAGConfi
 	for _, h := range hits {
 		g.Add(h.Triple)
 	}
-	resp, err := client.Complete(llm.Request{
+	resp, err := client.Complete(ctx, llm.Request{
 		Prompt: prompts.AnswerFromGraph(question, g.String()),
 	})
 	if err != nil {
@@ -171,7 +171,7 @@ func DefaultToGConfig() ToGConfig { return ToGConfig{Depth: 3, RelBeam: 2, Width
 // by asking the LLM to score each candidate relation against the question
 // (the original method's LLM-based pruning, and its dominant error
 // source), then answers from the explored subgraph.
-func ToG(client llm.Client, store *kg.Store, enc *embed.Encoder, question string, anchors []string, cfg ToGConfig) (string, error) {
+func ToG(ctx context.Context, client llm.Client, store *kg.Store, enc *embed.Encoder, question string, anchors []string, cfg ToGConfig) (string, error) {
 	if cfg.Depth <= 0 {
 		cfg = DefaultToGConfig()
 	}
@@ -202,7 +202,7 @@ func ToG(client llm.Client, store *kg.Store, enc *embed.Encoder, question string
 					candidates = append(candidates, t.Relation)
 				}
 			}
-			kept, err := pruneRelations(client, question, candidates, cfg.RelBeam)
+			kept, err := pruneRelations(ctx, client, question, candidates, cfg.RelBeam)
 			if err != nil {
 				return "", fmt.Errorf("baselines: ToG: %w", err)
 			}
@@ -218,7 +218,7 @@ func ToG(client llm.Client, store *kg.Store, enc *embed.Encoder, question string
 		frontier = next
 	}
 
-	resp, err := client.Complete(llm.Request{
+	resp, err := client.Complete(ctx, llm.Request{
 		Prompt: prompts.AnswerFromGraph(question, explored.Dedup().String()),
 	})
 	if err != nil {
@@ -229,14 +229,14 @@ func ToG(client llm.Client, store *kg.Store, enc *embed.Encoder, question string
 
 // pruneRelations asks the LLM to score candidate relations against the
 // question and keeps the top beam.
-func pruneRelations(client llm.Client, question string, candidates []string, beam int) ([]string, error) {
+func pruneRelations(ctx context.Context, client llm.Client, question string, candidates []string, beam int) ([]string, error) {
 	if beam <= 0 {
 		beam = 2
 	}
 	if len(candidates) <= beam {
 		return candidates, nil
 	}
-	resp, err := client.Complete(llm.Request{
+	resp, err := client.Complete(ctx, llm.Request{
 		Prompt: prompts.ScoreRelations(question, candidates),
 	})
 	if err != nil {
@@ -252,25 +252,4 @@ func pruneRelations(client llm.Client, question string, candidates []string, bea
 		return sorted[i] < sorted[j]
 	})
 	return sorted[:beam], nil
-}
-
-// Names lists the baseline identifiers in the paper's table order.
-func Names() []string { return []string{"ToG", "IO", "CoT", "SC", "RAG"} }
-
-// Describe returns a one-line description per baseline.
-func Describe(name string) string {
-	switch strings.ToLower(name) {
-	case "io":
-		return "standard input-output prompting, 6 in-context examples"
-	case "cot":
-		return "chain-of-thought prompting"
-	case "sc":
-		return "self-consistency: 3 CoT samples at temperature 0.7, voted"
-	case "rag":
-		return "question-level retrieval over the semantic KG"
-	case "tog":
-		return "Think-on-Graph: QID-anchored KG exploration"
-	default:
-		return "unknown baseline"
-	}
 }

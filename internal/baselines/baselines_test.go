@@ -1,7 +1,7 @@
 package baselines
 
 import (
-	"strings"
+	"context"
 	"testing"
 
 	"repro/internal/embed"
@@ -35,10 +35,10 @@ func testEnv(t testing.TB) (*world.World, *llm.SimLM, *kg.Store, *vecstore.Index
 func TestIOAndCoTProduceMarkedAnswers(t *testing.T) {
 	w, m, _, _ := testEnv(t)
 	q := "Where was " + w.Entities[w.OfKind(world.KindPerson)[0]].Name + " born?"
-	for name, fn := range map[string]func(llm.Client, string) (string, error){
+	for name, fn := range map[string]func(context.Context, llm.Client, string) (string, error){
 		"IO": IO, "CoT": CoT,
 	} {
-		out, err := fn(m, q)
+		out, err := fn(context.Background(), m, q)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -80,11 +80,11 @@ func TestSCMedoid(t *testing.T) {
 func TestSCDeterministic(t *testing.T) {
 	w, m, _, _ := testEnv(t)
 	q := "Where was " + w.Entities[w.OfKind(world.KindPerson)[5]].Name + " born?"
-	a, err := SC(m, q, false, DefaultSCConfig())
+	a, err := SC(context.Background(), m, q, false, DefaultSCConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SC(m, q, false, DefaultSCConfig())
+	b, err := SC(context.Background(), m, q, false, DefaultSCConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestRAGRetrievesAndAnswers(t *testing.T) {
 	w, m, _, idx := testEnv(t)
 	city := w.Entities[w.OfKind(world.KindCity)[0]]
 	q := "What is the population of " + city.Name + "?"
-	out, err := RAG(m, idx, q, DefaultRAGConfig())
+	out, err := RAG(context.Background(), m, idx, q, DefaultRAGConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestToGAnchorsOnGoldEntity(t *testing.T) {
 	enc := embed.NewEncoder()
 	city := w.Entities[w.OfKind(world.KindCity)[0]]
 	q := "What is the population of " + city.Name + "?"
-	out, err := ToG(m, st, enc, q, []string{city.Name}, DefaultToGConfig())
+	out, err := ToG(context.Background(), m, st, enc, q, []string{city.Name}, DefaultToGConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestToGAnchorsOnGoldEntity(t *testing.T) {
 func TestToGUnknownAnchor(t *testing.T) {
 	_, m, st, _ := testEnv(t)
 	enc := embed.NewEncoder()
-	out, err := ToG(m, st, enc, "Where was Nobody born?", []string{"Nobody At All"}, DefaultToGConfig())
+	out, err := ToG(context.Background(), m, st, enc, "Where was Nobody born?", []string{"Nobody At All"}, DefaultToGConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestToGUnknownAnchor(t *testing.T) {
 func TestPruneRelationsBeam(t *testing.T) {
 	_, m, _, _ := testEnv(t)
 	cands := []string{"r1", "r2"}
-	kept, err := pruneRelations(m, "question?", cands, 3)
+	kept, err := pruneRelations(context.Background(), m, "question?", cands, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,26 +147,12 @@ func TestPruneRelationsBeam(t *testing.T) {
 		t.Errorf("small candidate set should pass through, got %v", kept)
 	}
 	many := []string{"place of birth", "profession", "award received", "nationality", "educated at"}
-	kept, err = pruneRelations(m, "Where was X born?", many, 2)
+	kept, err = pruneRelations(context.Background(), m, "Where was X born?", many, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(kept) != 2 {
 		t.Errorf("beam = %v, want 2 relations", kept)
-	}
-}
-
-func TestNamesAndDescribe(t *testing.T) {
-	for _, n := range Names() {
-		if Describe(n) == "unknown baseline" {
-			t.Errorf("no description for %q", n)
-		}
-	}
-	if Describe("nope") != "unknown baseline" {
-		t.Error("unexpected description for unknown name")
-	}
-	if !strings.Contains(Describe("SC"), "0.7") {
-		t.Error("SC description should mention temperature")
 	}
 }
 

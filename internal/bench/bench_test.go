@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestRunAllMethods(t *testing.T) {
 	ds := env.Suite.Simple
 	src := DefaultSource(ds.Name)
 	for _, method := range []string{MethodIO, MethodCoT, MethodSC, MethodRAG, MethodToG, MethodOurs, MethodOursGp} {
-		cell, err := env.Run(method, ModelGPT35, ds, src)
+		cell, err := env.Run(context.Background(), method, ModelGPT35, ds, src)
 		if err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
@@ -67,7 +68,7 @@ func TestRunAllMethods(t *testing.T) {
 			t.Errorf("%s: score = %v", method, cell.Score)
 		}
 	}
-	if _, err := env.Run("bogus", ModelGPT35, ds, src); err == nil {
+	if _, err := env.Run(context.Background(), "bogus", ModelGPT35, ds, src); err == nil {
 		t.Error("unknown method accepted")
 	}
 }
@@ -75,11 +76,11 @@ func TestRunAllMethods(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	env := tinyEnv(t)
 	ds := env.Suite.QALD
-	a, err := env.Run(MethodOurs, ModelGPT4, ds, DefaultSource(ds.Name))
+	a, err := env.Run(context.Background(), MethodOurs, ModelGPT4, ds, DefaultSource(ds.Name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := env.Run(MethodOurs, ModelGPT4, ds, DefaultSource(ds.Name))
+	b, err := env.Run(context.Background(), MethodOurs, ModelGPT4, ds, DefaultSource(ds.Name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestTable1Output(t *testing.T) {
 func TestFig2Shape(t *testing.T) {
 	env := tinyEnv(t)
 	var buf bytes.Buffer
-	res, err := Fig2(env, &buf)
+	res, err := Fig2(context.Background(), env, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestHeadlineOrderings(t *testing.T) {
 		case "nature":
 			d = env.Suite.Nature
 		}
-		cell, err := env.Run(method, model, d, DefaultSource(d.Name))
+		cell, err := env.Run(context.Background(), method, model, d, DefaultSource(d.Name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,12 +207,12 @@ func TestMultiSourceGains(t *testing.T) {
 		if ds == "nature" {
 			d = env.Suite.Nature
 		}
-		cot, err := env.Run(MethodCoT, ModelGPT35, d, DefaultSource(d.Name))
+		cot, err := env.Run(context.Background(), MethodCoT, ModelGPT35, d, DefaultSource(d.Name))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, src := range []kg.Source{kg.SourceFreebase, kg.SourceWikidata} {
-			ours, err := env.Run(MethodOurs, ModelGPT35, d, src)
+			ours, err := env.Run(context.Background(), MethodOurs, ModelGPT35, d, src)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -2,13 +2,19 @@
 // environment (world, KG stores in both schemas, vector indexes, simulated
 // models, datasets) and regenerates every table and figure of the paper's
 // evaluation section (see DESIGN.md §4 for the experiment index).
+//
+// Method execution goes through the unified answer registry: every cell is
+// an answer.Batch over the dataset with the harness's worker budget, so
+// the bench exercises exactly the surface production callers use.
 package bench
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 
-	"repro/internal/baselines"
+	"repro/internal/answer"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/embed"
@@ -26,7 +32,8 @@ const (
 	ModelGPT4  = "GPT-4"
 )
 
-// Method identifiers.
+// Method identifiers: the registry names of internal/answer, capitalised
+// as the paper's tables print them (answer.New is case-insensitive).
 const (
 	MethodToG    = "ToG"
 	MethodIO     = "IO"
@@ -43,7 +50,8 @@ type EnvConfig struct {
 	World     world.Config
 	Data      datasets.Config
 	Core      core.Config
-	// Workers is the per-cell evaluation parallelism.
+	// Workers is the per-cell evaluation parallelism (answer.Batch
+	// concurrency).
 	Workers int
 }
 
@@ -84,6 +92,9 @@ type Env struct {
 
 	pipeMu    sync.Mutex
 	pipelines map[string]*core.Pipeline
+
+	ansMu     sync.Mutex
+	answerers map[string]answer.Answerer
 }
 
 // NewEnv builds the environment deterministically.
@@ -122,11 +133,13 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Indexes:   indexes,
 		Models:    models,
 		pipelines: map[string]*core.Pipeline{},
+		answerers: map[string]answer.Answerer{},
 	}, nil
 }
 
 // Pipeline returns (building on demand) the PG&AKV pipeline for a model
-// and KG source.
+// and KG source — the trace-level entry point for tools that inspect
+// intermediate artefacts (cmd/failures, the micro-benchmarks).
 func (e *Env) Pipeline(model string, src kg.Source) (*core.Pipeline, error) {
 	key := model + "/" + src.String()
 	e.pipeMu.Lock()
@@ -146,6 +159,32 @@ func (e *Env) Pipeline(model string, src kg.Source) (*core.Pipeline, error) {
 	return p, nil
 }
 
+// Answerer returns (building and caching on demand) the registry method
+// bound to this environment's substrates for a model and KG source.
+func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, error) {
+	key := strings.ToLower(method) + "/" + model + "/" + src.String()
+	e.ansMu.Lock()
+	defer e.ansMu.Unlock()
+	if a, ok := e.answerers[key]; ok {
+		return a, nil
+	}
+	m, ok := e.Models[model]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown model %q", model)
+	}
+	a, err := answer.New(method, answer.Deps{
+		Client:  m,
+		Store:   e.Stores[src],
+		Index:   e.Indexes[src],
+		Encoder: e.Enc,
+	}, answer.WithCoreConfig(e.Cfg.Core), answer.WithModelLabel(model))
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	e.answerers[key] = a
+	return a, nil
+}
+
 // Cell is one (method, model, dataset, source) evaluation result.
 type Cell struct {
 	Method  string
@@ -157,46 +196,18 @@ type Cell struct {
 	N     int
 }
 
-// answerOne produces one method's answer for one question.
-func (e *Env) answerOne(method, model string, q qa.Question, src kg.Source) (string, error) {
-	m := e.Models[model]
-	switch method {
-	case MethodIO:
-		return baselines.IO(m, q.Text)
-	case MethodCoT:
-		return baselines.CoT(m, q.Text)
-	case MethodSC:
-		return baselines.SC(m, q.Text, q.Open(), baselines.DefaultSCConfig())
-	case MethodRAG:
-		return baselines.RAG(m, e.Indexes[src], q.Text, baselines.DefaultRAGConfig())
-	case MethodToG:
-		anchors := []string{q.Intent.Subject}
-		if q.Intent.Subject2 != "" {
-			anchors = append(anchors, q.Intent.Subject2)
-		}
-		return baselines.ToG(m, e.Stores[src], e.Enc, q.Text, anchors, baselines.DefaultToGConfig())
-	case MethodOurs:
-		p, err := e.Pipeline(model, src)
-		if err != nil {
-			return "", err
-		}
-		res, err := p.Answer(q.Text)
-		if err != nil {
-			return "", err
-		}
-		return res.Answer, nil
-	case MethodOursGp:
-		p, err := e.Pipeline(model, src)
-		if err != nil {
-			return "", err
-		}
-		gp, err := p.GeneratePseudoGraph(q.Text, nil)
-		if err != nil {
-			return "", err
-		}
-		return p.AnswerFromGraph(q.Text, gp, nil)
-	default:
-		return "", fmt.Errorf("bench: unknown method %q", method)
+// query maps a dataset question onto the unified request shape.
+func query(method, model string, q qa.Question) answer.Query {
+	anchors := []string{q.Intent.Subject}
+	if q.Intent.Subject2 != "" {
+		anchors = append(anchors, q.Intent.Subject2)
+	}
+	return answer.Query{
+		Text:    q.Text,
+		Method:  method,
+		Model:   model,
+		Open:    q.Open(),
+		Anchors: anchors,
 	}
 }
 
@@ -209,39 +220,24 @@ func score(q qa.Question, answer string) float64 {
 }
 
 // Run evaluates a method×model over a dataset against the given KG source
-// and returns the aggregate cell.
-func (e *Env) Run(method, model string, ds *qa.Dataset, src kg.Source) (Cell, error) {
-	type job struct {
-		i int
-		q qa.Question
+// and returns the aggregate cell. The context bounds the whole cell:
+// cancellation aborts in-flight questions and skips the rest.
+func (e *Env) Run(ctx context.Context, method, model string, ds *qa.Dataset, src kg.Source) (Cell, error) {
+	ans, err := e.Answerer(method, model, src)
+	if err != nil {
+		return Cell{}, err
 	}
-	scores := make([]float64, len(ds.Questions))
-	errs := make([]error, len(ds.Questions))
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < e.Cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				ans, err := e.answerOne(method, model, j.q, src)
-				if err != nil {
-					errs[j.i] = err
-					continue
-				}
-				scores[j.i] = score(j.q, ans)
-			}
-		}()
-	}
+	queries := make([]answer.Query, len(ds.Questions))
 	for i, q := range ds.Questions {
-		jobs <- job{i, q}
+		queries[i] = query(method, model, q)
 	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Cell{}, fmt.Errorf("bench: %s/%s on %s: %w", method, model, ds.Name, err)
-		}
+	items := answer.Batch(ctx, ans, queries, answer.Concurrency(e.Cfg.Workers))
+	if err := answer.FirstError(items); err != nil {
+		return Cell{}, fmt.Errorf("bench: %s/%s on %s: %w", method, model, ds.Name, err)
+	}
+	scores := make([]float64, len(items))
+	for i, item := range items {
+		scores[i] = score(ds.Questions[i], item.Result.Answer)
 	}
 	return Cell{
 		Method:  method,

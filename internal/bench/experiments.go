@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -38,7 +39,7 @@ var paperTable2 = map[string]map[string][3]float64{
 
 // Table2 runs the main-results experiment: every method × both models ×
 // all three datasets (ToG skips Nature Questions, as in the paper).
-func Table2(e *Env, out io.Writer) error {
+func Table2(ctx context.Context, e *Env, out io.Writer) error {
 	methods := []string{MethodToG, MethodIO, MethodCoT, MethodSC, MethodRAG, MethodOurs}
 	models := []string{ModelGPT35, ModelGPT4}
 	dss := e.Suite.Datasets()
@@ -54,7 +55,7 @@ func Table2(e *Env, out io.Writer) error {
 					row = append(row, "-")
 					continue
 				}
-				cell, err := e.Run(method, model, ds, DefaultSource(ds.Name))
+				cell, err := e.Run(ctx, method, model, ds, DefaultSource(ds.Name))
 				if err != nil {
 					return err
 				}
@@ -75,14 +76,14 @@ func Table2(e *Env, out io.Writer) error {
 // Table3 runs the multi-source generalisation experiment: GPT-3.5, CoT
 // baseline vs Ours over both KG schemas on SimpleQuestions and
 // NatureQuestions (the paper's Table III).
-func Table3(e *Env, out io.Writer) error {
+func Table3(ctx context.Context, e *Env, out io.Writer) error {
 	fmt.Fprintln(out, "Table III — generalisation across KG sources (GPT-3.5)")
 	fmt.Fprintf(out, "%-16s %-18s %-18s\n", "Method", "SimpleQuestions", "NatureQuestions")
 
 	dsS, dsN := e.Suite.Simple, e.Suite.Nature
 	cot := map[string]float64{}
 	for _, ds := range []*qa.Dataset{dsS, dsN} {
-		cell, err := e.Run(MethodCoT, ModelGPT35, ds, DefaultSource(ds.Name))
+		cell, err := e.Run(ctx, MethodCoT, ModelGPT35, ds, DefaultSource(ds.Name))
 		if err != nil {
 			return err
 		}
@@ -93,7 +94,7 @@ func Table3(e *Env, out io.Writer) error {
 	for _, src := range []kg.Source{kg.SourceFreebase, kg.SourceWikidata} {
 		scores := map[string]float64{}
 		for _, ds := range []*qa.Dataset{dsS, dsN} {
-			cell, err := e.Run(MethodOurs, ModelGPT35, ds, src)
+			cell, err := e.Run(ctx, MethodOurs, ModelGPT35, ds, src)
 			if err != nil {
 				return err
 			}
@@ -108,7 +109,7 @@ func Table3(e *Env, out io.Writer) error {
 }
 
 // ablation runs the Gp/Gf reference ablation for one model (Tables IV, V).
-func ablation(e *Env, out io.Writer, model, title, paperNote string) error {
+func ablation(ctx context.Context, e *Env, out io.Writer, model, title, paperNote string) error {
 	fmt.Fprintln(out, title)
 	fmt.Fprintf(out, "%-12s %-12s %-18s\n", "Method", "QALD", "NatureQuestions")
 	dss := []*qa.Dataset{e.Suite.QALD, e.Suite.Nature}
@@ -124,7 +125,7 @@ func ablation(e *Env, out io.Writer, model, title, paperNote string) error {
 	for _, r := range rows {
 		scores := make([]float64, len(dss))
 		for i, ds := range dss {
-			cell, err := e.Run(r.method, model, ds, DefaultSource(ds.Name))
+			cell, err := e.Run(ctx, r.method, model, ds, DefaultSource(ds.Name))
 			if err != nil {
 				return err
 			}
@@ -142,16 +143,16 @@ func ablation(e *Env, out io.Writer, model, title, paperNote string) error {
 }
 
 // Table4 is the GPT-3.5 ablation (paper Table IV).
-func Table4(e *Env, out io.Writer) error {
-	return ablation(e, out, ModelGPT35,
+func Table4(ctx context.Context, e *Env, out io.Writer) error {
+	return ablation(ctx, e, out, ModelGPT35,
 		"Table IV — GPT-3.5 with different references",
 		"(paper: CoT 40.5/23.2; w/Gp 44.4/24.3; w/Gf 48.6/37.5)")
 }
 
 // Table5 is the GPT-4 ablation (paper Table V), including the expected
 // small Gp regression on NatureQuestions.
-func Table5(e *Env, out io.Writer) error {
-	return ablation(e, out, ModelGPT4,
+func Table5(ctx context.Context, e *Env, out io.Writer) error {
+	return ablation(ctx, e, out, ModelGPT4,
 		"Table V — GPT-4 with different references",
 		"(paper: CoT 48.9/27.7; w/Gp 53.9/24.4; w/Gf 56.5/39.2)")
 }
@@ -167,7 +168,7 @@ type Fig2Result struct {
 // Fig2 measures pseudo-graph structural validity for the Cypher route vs
 // direct triple generation (paper §III-A: ~98 % vs ~75 %), over the
 // SimpleQuestions and QALD questions.
-func Fig2(e *Env, out io.Writer) (Fig2Result, error) {
+func Fig2(ctx context.Context, e *Env, out io.Writer) (Fig2Result, error) {
 	model := e.Models[ModelGPT35]
 	var questions []string
 	for _, ds := range []*qa.Dataset{e.Suite.Simple, e.Suite.QALD} {
@@ -177,14 +178,14 @@ func Fig2(e *Env, out io.Writer) (Fig2Result, error) {
 	}
 	cyOK, dirOK := 0, 0
 	for _, q := range questions {
-		resp, err := model.Complete(llm.Request{Prompt: prompts.PseudoGraph(q)})
+		resp, err := model.Complete(ctx, llm.Request{Prompt: prompts.PseudoGraph(q)})
 		if err != nil {
 			return Fig2Result{}, err
 		}
 		if validCypher(resp.Text) {
 			cyOK++
 		}
-		resp, err = model.Complete(llm.Request{Prompt: prompts.DirectTriples(q)})
+		resp, err = model.Complete(ctx, llm.Request{Prompt: prompts.DirectTriples(q)})
 		if err != nil {
 			return Fig2Result{}, err
 		}
@@ -255,7 +256,7 @@ func Table1(out io.Writer) {
 // Sweeps runs the design-choice ablations of DESIGN.md §5 at the current
 // environment scale: confidence threshold, retrieval depth, pruning
 // strategy and verification context order, all with GPT-3.5 + PG&AKV.
-func Sweeps(e *Env, out io.Writer) error {
+func Sweeps(ctx context.Context, e *Env, out io.Writer) error {
 	fmt.Fprintln(out, "Ablation sweeps — GPT-3.5, PG&AKV")
 
 	rebuild := func(mutate func(*EnvConfig)) (*Env, error) {
@@ -264,7 +265,7 @@ func Sweeps(e *Env, out io.Writer) error {
 		return NewEnv(cfg)
 	}
 	run := func(env *Env, ds *qa.Dataset) (float64, error) {
-		cell, err := env.Run(MethodOurs, ModelGPT35, ds, DefaultSource(ds.Name))
+		cell, err := env.Run(ctx, MethodOurs, ModelGPT35, ds, DefaultSource(ds.Name))
 		if err != nil {
 			return 0, err
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func TestTablePrinters(t *testing.T) {
 
 	t.Run("table2", func(t *testing.T) {
 		var buf bytes.Buffer
-		if err := Table2(env, &buf); err != nil {
+		if err := Table2(context.Background(), env, &buf); err != nil {
 			t.Fatal(err)
 		}
 		out := buf.String()
@@ -31,7 +32,7 @@ func TestTablePrinters(t *testing.T) {
 
 	t.Run("table3", func(t *testing.T) {
 		var buf bytes.Buffer
-		if err := Table3(env, &buf); err != nil {
+		if err := Table3(context.Background(), env, &buf); err != nil {
 			t.Fatal(err)
 		}
 		out := buf.String()
@@ -44,14 +45,14 @@ func TestTablePrinters(t *testing.T) {
 
 	t.Run("table4and5", func(t *testing.T) {
 		var buf bytes.Buffer
-		if err := Table4(env, &buf); err != nil {
+		if err := Table4(context.Background(), env, &buf); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(buf.String(), "w/ Gp") || !strings.Contains(buf.String(), "w/ Gf") {
 			t.Errorf("table4 output malformed:\n%s", buf.String())
 		}
 		buf.Reset()
-		if err := Table5(env, &buf); err != nil {
+		if err := Table5(context.Background(), env, &buf); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(buf.String(), "Table V") {
@@ -66,7 +67,7 @@ func TestSweepsPrinter(t *testing.T) {
 	}
 	env := tinyEnv(t)
 	var buf bytes.Buffer
-	if err := Sweeps(env, &buf); err != nil {
+	if err := Sweeps(context.Background(), env, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

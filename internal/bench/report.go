@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -27,7 +28,7 @@ type TimedCell struct {
 }
 
 // Collect runs one cell and records it with timing.
-func (r *Report) Collect(e *Env, method, model string, dsName string, srcOverride ...string) error {
+func (r *Report) Collect(ctx context.Context, e *Env, method, model string, dsName string, srcOverride ...string) error {
 	var ds = e.Suite.Simple
 	switch dsName {
 	case "QALD":
@@ -48,7 +49,7 @@ func (r *Report) Collect(e *Env, method, model string, dsName string, srcOverrid
 		src = parsed
 	}
 	start := time.Now()
-	cell, err := e.Run(method, model, ds, src)
+	cell, err := e.Run(ctx, method, model, ds, src)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -10,10 +11,10 @@ import (
 func TestReportCollectAndWrite(t *testing.T) {
 	env := tinyEnv(t)
 	r := &Report{Title: "smoke"}
-	if err := r.Collect(env, MethodCoT, ModelGPT35, "SimpleQuestions"); err != nil {
+	if err := r.Collect(context.Background(), env, MethodCoT, ModelGPT35, "SimpleQuestions"); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Collect(env, MethodCoT, ModelGPT35, "NatureQuestions", "freebase"); err != nil {
+	if err := r.Collect(context.Background(), env, MethodCoT, ModelGPT35, "NatureQuestions", "freebase"); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Cells) != 2 {
@@ -48,10 +49,10 @@ func TestReportCollectAndWrite(t *testing.T) {
 func TestReportCollectErrors(t *testing.T) {
 	env := tinyEnv(t)
 	r := &Report{}
-	if err := r.Collect(env, MethodCoT, ModelGPT35, "NoSuchDataset"); err == nil {
+	if err := r.Collect(context.Background(), env, MethodCoT, ModelGPT35, "NoSuchDataset"); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := r.Collect(env, MethodCoT, ModelGPT35, "QALD", "marsbase"); err == nil {
+	if err := r.Collect(context.Background(), env, MethodCoT, ModelGPT35, "QALD", "marsbase"); err == nil {
 		t.Error("unknown source accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestPipelineCorrectsHallucinations(t *testing.T) {
 			continue
 		}
 		total++
-		res, err := p.Answer("What is the population of " + city.Name + "?")
+		res, err := p.Answer(context.Background(), "What is the population of "+city.Name+"?")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestPipelineTraceConsistency(t *testing.T) {
 	p, w := simPipeline(t, llm.GPT35Params())
 	for _, personID := range w.OfKind(world.KindPerson)[:10] {
 		name := w.Entities[personID].Name
-		res, err := p.Answer("Where was " + name + " born?")
+		res, err := p.Answer(context.Background(), "Where was "+name+" born?")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestAnswerRefinedWithSimLM(t *testing.T) {
 	for _, lakeID := range w.OfKind(world.KindLake)[:8] {
 		name := w.Entities[lakeID].Name
 		q := "What is the area of " + name + "?"
-		res, err := p.AnswerRefined(q, DefaultRefineConfig())
+		res, err := p.AnswerRefined(context.Background(), q, DefaultRefineConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestPipelineSchemaAgnostic(t *testing.T) {
 			continue
 		}
 		total++
-		res, err := p.Answer("What is the population of " + city.Name + "?")
+		res, err := p.Answer(context.Background(), "What is the population of "+city.Name+"?")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -167,13 +168,14 @@ type Result struct {
 	Trace  Trace
 }
 
-// Answer runs the full PG&AKV flow for a question.
-func (p *Pipeline) Answer(question string) (Result, error) {
+// Answer runs the full PG&AKV flow for a question. The context bounds the
+// whole run: cancellation or deadline expiry aborts at the next LLM call.
+func (p *Pipeline) Answer(ctx context.Context, question string) (Result, error) {
 	var tr Trace
 	tr.Question = question
 
 	// Step 1: Pseudo-Graph Generation.
-	gp, err := p.GeneratePseudoGraph(question, &tr)
+	gp, err := p.GeneratePseudoGraph(ctx, question, &tr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -184,14 +186,14 @@ func (p *Pipeline) Answer(question string) (Result, error) {
 	tr.Gg = gg
 
 	// Step 4: Pseudo-Graph Verification.
-	gf, err := p.Verify(question, gp, gg, &tr)
+	gf, err := p.Verify(ctx, question, gp, gg, &tr)
 	if err != nil {
 		return Result{}, err
 	}
 	tr.Gf = gf
 
 	// Step 5: Answer generation.
-	answer, err := p.AnswerFromGraph(question, gf, &tr)
+	answer, err := p.AnswerFromGraph(ctx, question, gf, &tr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -201,8 +203,8 @@ func (p *Pipeline) Answer(question string) (Result, error) {
 // GeneratePseudoGraph performs step 1: prompt, execute Cypher, decode.
 // Failures produce an empty graph, never an error (LLM transport errors
 // still propagate).
-func (p *Pipeline) GeneratePseudoGraph(question string, tr *Trace) (*kg.Graph, error) {
-	resp, err := p.client.Complete(llm.Request{
+func (p *Pipeline) GeneratePseudoGraph(ctx context.Context, question string, tr *Trace) (*kg.Graph, error) {
+	resp, err := p.client.Complete(ctx, llm.Request{
 		Prompt:      prompts.PseudoGraph(question),
 		Temperature: p.cfg.Temperature,
 	})
@@ -472,12 +474,12 @@ func tokenSet(s string) map[string]bool {
 
 // Verify performs step 4: the LLM edits Gp against Gg. With an empty Gg
 // there is nothing to verify against and Gp passes through unchanged.
-func (p *Pipeline) Verify(question string, gp, gg *kg.Graph, tr *Trace) (*kg.Graph, error) {
+func (p *Pipeline) Verify(ctx context.Context, question string, gp, gg *kg.Graph, tr *Trace) (*kg.Graph, error) {
 	if gg.Len() == 0 {
 		return gp, nil
 	}
 	goldBlocks := gg.EntityBlocks(gg.Subjects())
-	resp, err := p.client.Complete(llm.Request{
+	resp, err := p.client.Complete(ctx, llm.Request{
 		Prompt:      prompts.Verify(question, goldBlocks, gp.String()),
 		Temperature: p.cfg.Temperature,
 	})
@@ -500,12 +502,12 @@ func (p *Pipeline) Verify(question string, gp, gg *kg.Graph, tr *Trace) (*kg.Gra
 // AnswerFromGraph performs step 5 with an arbitrary reference graph — the
 // ablation entry point (w/ Gp vs w/ Gf) as well as the final step of the
 // full pipeline.
-func (p *Pipeline) AnswerFromGraph(question string, graph *kg.Graph, tr *Trace) (string, error) {
+func (p *Pipeline) AnswerFromGraph(ctx context.Context, question string, graph *kg.Graph, tr *Trace) (string, error) {
 	text := ""
 	if graph != nil {
 		text = graph.String()
 	}
-	resp, err := p.client.Complete(llm.Request{
+	resp, err := p.client.Complete(ctx, llm.Request{
 		Prompt:      prompts.AnswerFromGraph(question, text),
 		Temperature: p.cfg.Temperature,
 	})

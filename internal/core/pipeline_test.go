@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,7 +26,7 @@ type fakeClient struct {
 
 func (f *fakeClient) Name() string { return "fake" }
 
-func (f *fakeClient) Complete(req llm.Request) (llm.Response, error) {
+func (f *fakeClient) Complete(_ context.Context, req llm.Request) (llm.Response, error) {
 	f.calls++
 	if f.failAll {
 		return llm.Response{}, errors.New("boom")
@@ -130,7 +131,7 @@ func TestGeneratePseudoGraphDecodes(t *testing.T) {
 	}
 	p := newTestPipeline(t, client)
 	var tr Trace
-	gp, err := p.GeneratePseudoGraph("What is the population of China?", &tr)
+	gp, err := p.GeneratePseudoGraph(context.Background(), "What is the population of China?", &tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestGeneratePseudoGraphMalformedIsEmptyNotError(t *testing.T) {
 	client := &fakeClient{pseudo: "```\nCREATE (broken\n```"}
 	p := newTestPipeline(t, client)
 	var tr Trace
-	gp, err := p.GeneratePseudoGraph("q?", &tr)
+	gp, err := p.GeneratePseudoGraph(context.Background(), "q?", &tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestChainGatedExpansion(t *testing.T) {
 func TestVerifyEmptyGgPassesThrough(t *testing.T) {
 	p := newTestPipeline(t, &fakeClient{verify: passthroughVerify})
 	gp := kg.NewGraph(kg.NewTriple("a", "r", "x"))
-	gf, err := p.Verify("q?", gp, &kg.Graph{}, nil)
+	gf, err := p.Verify(context.Background(), "q?", gp, &kg.Graph{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestVerifyUnparsableFallsBackToGp(t *testing.T) {
 	p := newTestPipeline(t, client)
 	gp := kg.NewGraph(kg.NewTriple("a", "r", "x"))
 	gg := kg.NewGraph(kg.NewTriple("b", "r", "y"))
-	gf, err := p.Verify("q?", gp, gg, nil)
+	gf, err := p.Verify(context.Background(), "q?", gp, gg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestAnswerEndToEnd(t *testing.T) {
 		},
 	}
 	p := newTestPipeline(t, client)
-	res, err := p.Answer("What is the population of China?")
+	res, err := p.Answer(context.Background(), "What is the population of China?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestAnswerRobustToGarbagePseudo(t *testing.T) {
 		},
 	}
 	p := newTestPipeline(t, client)
-	res, err := p.Answer("q?")
+	res, err := p.Answer(context.Background(), "q?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestAnswerRobustToGarbagePseudo(t *testing.T) {
 
 func TestAnswerPropagatesTransportErrors(t *testing.T) {
 	p := newTestPipeline(t, &fakeClient{failAll: true})
-	if _, err := p.Answer("q?"); err == nil {
+	if _, err := p.Answer(context.Background(), "q?"); err == nil {
 		t.Error("transport error swallowed")
 	}
 }
@@ -323,7 +324,7 @@ func TestAnswerPropagatesTransportErrors(t *testing.T) {
 func TestAnswerFromGraphNilGraph(t *testing.T) {
 	client := &fakeClient{answer: answerEcho}
 	p := newTestPipeline(t, client)
-	out, err := p.AnswerFromGraph("q?", nil, nil)
+	out, err := p.AnswerFromGraph(context.Background(), "q?", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kg"
@@ -41,7 +42,7 @@ type RefineResult struct {
 // AnswerRefined runs the pipeline with up to cfg.MaxRounds pseudo-graph
 // attempts, keeping the first grounded round. If no round grounds, the
 // last round's result is returned (graceful degradation, as in Answer).
-func (p *Pipeline) AnswerRefined(question string, cfg RefineConfig) (RefineResult, error) {
+func (p *Pipeline) AnswerRefined(ctx context.Context, question string, cfg RefineConfig) (RefineResult, error) {
 	if cfg.MaxRounds < 1 {
 		cfg.MaxRounds = 1
 	}
@@ -50,19 +51,19 @@ func (p *Pipeline) AnswerRefined(question string, cfg RefineConfig) (RefineResul
 		var tr Trace
 		tr.Question = question
 
-		gp, err := p.generatePseudoGraphAt(question, round, cfg.Temperature, &tr)
+		gp, err := p.generatePseudoGraphAt(ctx, question, round, cfg.Temperature, &tr)
 		if err != nil {
 			return RefineResult{}, err
 		}
 		tr.Gp = gp
 		gg := p.QueryAndPrune(gp, &tr)
 		tr.Gg = gg
-		gf, err := p.Verify(question, gp, gg, &tr)
+		gf, err := p.Verify(ctx, question, gp, gg, &tr)
 		if err != nil {
 			return RefineResult{}, err
 		}
 		tr.Gf = gf
-		answer, err := p.AnswerFromGraph(question, gf, &tr)
+		answer, err := p.AnswerFromGraph(ctx, question, gf, &tr)
 		if err != nil {
 			return RefineResult{}, err
 		}
@@ -81,12 +82,12 @@ func (p *Pipeline) AnswerRefined(question string, cfg RefineConfig) (RefineResul
 // generatePseudoGraphAt is GeneratePseudoGraph with an explicit sampling
 // nonce and temperature: round 0 is greedy (identical to the plain
 // pipeline); later rounds sample.
-func (p *Pipeline) generatePseudoGraphAt(question string, nonce int, temperature float64, tr *Trace) (*kg.Graph, error) {
+func (p *Pipeline) generatePseudoGraphAt(ctx context.Context, question string, nonce int, temperature float64, tr *Trace) (*kg.Graph, error) {
 	temp := p.cfg.Temperature
 	if nonce > 0 {
 		temp = temperature
 	}
-	resp, err := p.client.Complete(llm.Request{
+	resp, err := p.client.Complete(ctx, llm.Request{
 		Prompt:      prompts.PseudoGraph(question),
 		Temperature: temp,
 		Nonce:       nonce,

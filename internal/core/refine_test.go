@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,14 +16,14 @@ type flakyPseudoClient struct {
 	goodFromNonce int
 }
 
-func (f *flakyPseudoClient) Complete(req llm.Request) (llm.Response, error) {
+func (f *flakyPseudoClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
 	if prompts.Classify(req.Prompt) == prompts.TaskPseudoGraph {
 		if req.Nonce < f.goodFromNonce {
 			return llm.Response{Text: "no cypher here, sorry"}, nil
 		}
 		return llm.Response{Text: "```\nCREATE (c:Country {name: 'China'})-[:POPULATION]->(v:Value {name: '1'})\n```"}, nil
 	}
-	return f.fakeClient.Complete(req)
+	return f.fakeClient.Complete(ctx, req)
 }
 
 func TestAnswerRefinedRecoversOnRetry(t *testing.T) {
@@ -39,7 +40,7 @@ func TestAnswerRefinedRecoversOnRetry(t *testing.T) {
 		goodFromNonce: 1,
 	}
 	p := newTestPipeline(t, client)
-	res, err := p.AnswerRefined("What is the population of China?", DefaultRefineConfig())
+	res, err := p.AnswerRefined(context.Background(), "What is the population of China?", DefaultRefineConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestAnswerRefinedFirstRoundGroundsImmediately(t *testing.T) {
 		answer: func(prompts.GraphQAParts) string { return "{done}" },
 	}
 	p := newTestPipeline(t, client)
-	res, err := p.AnswerRefined("What is the population of China?", DefaultRefineConfig())
+	res, err := p.AnswerRefined(context.Background(), "What is the population of China?", DefaultRefineConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestAnswerRefinedExhaustsRounds(t *testing.T) {
 		goodFromNonce: 99, // never good
 	}
 	p := newTestPipeline(t, client)
-	res, err := p.AnswerRefined("q?", RefineConfig{MaxRounds: 3, Temperature: 0.7})
+	res, err := p.AnswerRefined(context.Background(), "q?", RefineConfig{MaxRounds: 3, Temperature: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestAnswerRefinedZeroRoundsClamped(t *testing.T) {
 		answer: func(prompts.GraphQAParts) string { return "{x}" },
 	}
 	p := newTestPipeline(t, client)
-	res, err := p.AnswerRefined("q?", RefineConfig{MaxRounds: 0})
+	res, err := p.AnswerRefined(context.Background(), "q?", RefineConfig{MaxRounds: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +117,11 @@ func TestAnswerRefinedMatchesAnswerWhenGrounded(t *testing.T) {
 		answer: answerEcho,
 	}
 	p := newTestPipeline(t, client)
-	plain, err := p.Answer("What is the population of China?")
+	plain, err := p.Answer(context.Background(), "What is the population of China?")
 	if err != nil {
 		t.Fatal(err)
 	}
-	refined, err := p.AnswerRefined("What is the population of China?", DefaultRefineConfig())
+	refined, err := p.AnswerRefined(context.Background(), "What is the population of China?", DefaultRefineConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -56,7 +57,7 @@ func TestVerifyAppendRateStatistical(t *testing.T) {
 	const n = 400
 	for i := 0; i < n; i++ {
 		prompt := prompts.Verify(fmt.Sprintf("problem %d?", i), gold, toFix)
-		resp, err := s.Complete(Request{Prompt: prompt})
+		resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func TestCompareCountParametric(t *testing.T) {
 		want = b.Name
 	}
 	q := fmt.Sprintf("Who covers more countries, %s or %s?", a.Name, b.Name)
-	resp, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestCompareValueParametric(t *testing.T) {
 		want = a.Name
 	}
 	q := fmt.Sprintf("Which has a larger area, %s or %s?", a.Name, b.Name)
-	resp, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestSuperlativeParametricFullKnowledge(t *testing.T) {
 			continue
 		}
 		q := fmt.Sprintf("Which lake in %s has the largest area?", w.Entities[c].Name)
-		resp, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+		resp, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func TestGraphQACompareFromGraph(t *testing.T) {
 		"<The Himalayas> <covers country> <India>",
 	}, "\n")
 	q := "Who covers more countries, The Andes or The Himalayas?"
-	resp, err := s.Complete(Request{Prompt: prompts.AnswerFromGraph(q, graph)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.AnswerFromGraph(q, graph)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestGraphQASuperlativeFromGraph(t *testing.T) {
 		"<Lake Huron> <area> <59600>",
 	}, "\n")
 	q := "Which lake in Canada has the largest area?"
-	resp, err := s.Complete(Request{Prompt: prompts.AnswerFromGraph(q, graph)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.AnswerFromGraph(q, graph)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestParseRelScoresIgnoresGarbage(t *testing.T) {
 func TestVerifyHandlesEmptyGold(t *testing.T) {
 	s := newSim(t, GPT4Params())
 	prompt := prompts.Verify("q?", "", "<a> <r> <x>")
-	resp, err := s.Complete(Request{Prompt: prompt})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestOpenListFromGraphRealisesAll(t *testing.T) {
 		"<Acme Corp> <product or material produced> <The Gadget Atlas>",
 	}, "\n")
 	q := "What are the products of Acme Corp?"
-	resp, err := s.Complete(Request{Prompt: prompts.AnswerFromGraph(q, graph)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.AnswerFromGraph(q, graph)})
 	if err != nil {
 		t.Fatal(err)
 	}

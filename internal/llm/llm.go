@@ -24,6 +24,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 )
 
@@ -51,11 +52,14 @@ type Response struct {
 }
 
 // Client is the minimal LLM interface the pipeline depends on.
+// Implementations must honour the context: a cancelled or expired context
+// makes Complete return the context's error promptly (real backends abort
+// the network call; the simulated model checks before answering).
 type Client interface {
 	// Name identifies the model (e.g. "sim-gpt-3.5").
 	Name() string
 	// Complete returns the model's completion for the request.
-	Complete(req Request) (Response, error)
+	Complete(ctx context.Context, req Request) (Response, error)
 }
 
 // estimateTokens approximates a token count as 4/3 of the word count, the

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,8 +35,8 @@ func NewRecorder(inner Client) *Recorder {
 func (r *Recorder) Name() string { return r.Inner.Name() }
 
 // Complete implements Client, recording the exchange.
-func (r *Recorder) Complete(req Request) (Response, error) {
-	resp, err := r.Inner.Complete(req)
+func (r *Recorder) Complete(ctx context.Context, req Request) (Response, error) {
+	resp, err := r.Inner.Complete(ctx, req)
 	r.mu.Lock()
 	r.exchanges = append(r.exchanges, Exchange{
 		Task:     prompts.Classify(req.Prompt),
@@ -104,7 +105,10 @@ func (s *Scripted) Calls() int {
 }
 
 // Complete implements Client.
-func (s *Scripted) Complete(req Request) (Response, error) {
+func (s *Scripted) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	s.mu.Lock()
 	s.calls++
 	s.mu.Unlock()

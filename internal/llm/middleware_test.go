@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestScriptedClient(t *testing.T) {
 			return "let me think... {ok}", nil
 		})
 
-	resp, err := s.Complete(Request{Prompt: prompts.IO("q?")})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.IO("q?")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,10 +30,10 @@ func TestScriptedClient(t *testing.T) {
 		t.Error("usage not estimated")
 	}
 
-	if _, err := s.Complete(Request{Prompt: prompts.CoT("please fail")}); err == nil {
+	if _, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT("please fail")}); err == nil {
 		t.Error("scripted error swallowed")
 	}
-	if _, err := s.Complete(Request{Prompt: prompts.PseudoGraph("q?")}); err == nil {
+	if _, err := s.Complete(context.Background(), Request{Prompt: prompts.PseudoGraph("q?")}); err == nil {
 		t.Error("unregistered task accepted")
 	}
 	if s.Calls() != 3 {
@@ -46,11 +47,11 @@ func TestRecorder(t *testing.T) {
 	if rec.Name() != "scripted" {
 		t.Errorf("Name = %q", rec.Name())
 	}
-	if _, err := rec.Complete(Request{Prompt: prompts.IO("q1?")}); err != nil {
+	if _, err := rec.Complete(context.Background(), Request{Prompt: prompts.IO("q1?")}); err != nil {
 		t.Fatal(err)
 	}
 	// Errors are recorded too.
-	_, _ = rec.Complete(Request{Prompt: prompts.CoT("q2?")})
+	_, _ = rec.Complete(context.Background(), Request{Prompt: prompts.CoT("q2?")})
 
 	ex := rec.Exchanges()
 	if len(ex) != 2 {
@@ -72,11 +73,11 @@ func TestRecorderWrapsSimLM(t *testing.T) {
 	sim := newSim(t, GPT35Params())
 	rec := NewRecorder(sim)
 	q := "Where was " + headPerson(sim) + " born?"
-	direct, err := sim.Complete(Request{Prompt: prompts.CoT(q)})
+	direct, err := sim.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wrapped, err := rec.Complete(Request{Prompt: prompts.CoT(q)})
+	wrapped, err := rec.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // decodePseudoGraph runs one generation and decodes it.
 func decodePseudoGraph(t *testing.T, s *SimLM, question string) *kg.Graph {
 	t.Helper()
-	resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph(question)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.PseudoGraph(question)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestPlanSelectivityNarrowsOpenPlans(t *testing.T) {
 
 func TestPlanUnparseableQuestionStillYieldsGraph(t *testing.T) {
 	s := newSim(t, GPT35Params())
-	resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph("gibberish that matches nothing")})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.PseudoGraph("gibberish that matches nothing")})
 	if err != nil {
 		t.Fatal(err)
 	}

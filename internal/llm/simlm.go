@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -52,8 +53,12 @@ func (s *SimLM) CallStats() (calls, promptTokens, completionTokens int64) {
 
 // Complete implements Client: classify the prompt by its markers (exactly
 // as the texts from internal/prompts are shaped) and produce the grade- and
-// memory-dependent behaviour for that task.
-func (s *SimLM) Complete(req Request) (Response, error) {
+// memory-dependent behaviour for that task. A cancelled context returns
+// its error before any work, standing in for an aborted network call.
+func (s *SimLM) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	if req.Prompt == "" {
 		return Response{}, fmt.Errorf("llm: empty prompt")
 	}

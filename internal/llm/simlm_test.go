@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,11 +36,11 @@ func newSim(t testing.TB, params GradeParams) *SimLM {
 func TestCompleteDeterministic(t *testing.T) {
 	s := newSim(t, GPT35Params())
 	req := Request{Prompt: prompts.IO("Where was " + headPerson(s) + " born?")}
-	a, err := s.Complete(req)
+	a, err := s.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Complete(req)
+	b, err := s.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +60,14 @@ func tailPerson(s *SimLM) string {
 
 func TestEmptyPromptRejected(t *testing.T) {
 	s := newSim(t, GPT35Params())
-	if _, err := s.Complete(Request{}); err == nil {
+	if _, err := s.Complete(context.Background(), Request{}); err == nil {
 		t.Error("empty prompt accepted")
 	}
 }
 
 func TestUsageAccounting(t *testing.T) {
 	s := newSim(t, GPT35Params())
-	resp, err := s.Complete(Request{Prompt: prompts.IO("Where was " + headPerson(s) + " born?")})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.IO("Where was " + headPerson(s) + " born?")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestPopularityEffect(t *testing.T) {
 			name := w.Entities[p].Name
 			in := qa.Intent{Kind: qa.KindLookup, Subject: name, Chain: []world.RelKey{world.RelBornIn}}
 			golds, _ := res.Gold(in)
-			resp, err := s.Complete(Request{Prompt: prompts.CoT("Where was " + name + " born?")})
+			resp, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT("Where was " + name + " born?")})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,7 +153,7 @@ func TestPopularityEffect(t *testing.T) {
 func TestPseudoGraphDecodes(t *testing.T) {
 	s := newSim(t, GPT35Params())
 	q := "Where was " + headPerson(s) + " born?"
-	resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph(q)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.PseudoGraph(q)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,14 +188,14 @@ func TestPseudoGraphStructuralRates(t *testing.T) {
 		name := w.Entities[p].Name
 		q := "Which award did " + name + " receive?"
 		n++
-		resp, err := s.Complete(Request{Prompt: prompts.PseudoGraph(q)})
+		resp, err := s.Complete(context.Background(), Request{Prompt: prompts.PseudoGraph(q)})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if cypher.Validate(extractFenced(resp.Text)) {
 			cyOK++
 		}
-		resp, err = s.Complete(Request{Prompt: prompts.DirectTriples(q)})
+		resp, err = s.Complete(context.Background(), Request{Prompt: prompts.DirectTriples(q)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +239,7 @@ func TestVerifyFixesPaperExample(t *testing.T) {
 	}
 	toFix := "<" + city.Name + "> <Number of population> <99999999>"
 	prompt := prompts.Verify("What is the population of "+city.Name+"?", gold.String(), toFix)
-	resp, err := s.Complete(Request{Prompt: prompt})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestVerifyDeletesUnsupported(t *testing.T) {
 	gold := "[entity_0]:\n<Lake Superior> <area> <82350>"
 	toFix := "<Lake Superior> <area> <82000>\n<Dongting Lake> <area> <259430>"
 	prompt := prompts.Verify("Which lake is largest?", gold, toFix)
-	resp, err := s.Complete(Request{Prompt: prompt})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestGraphQAWalksChain(t *testing.T) {
 	// Use a template that parses to born->country... there is none 2-hop;
 	// use population instead: single-hop via graph.
 	prompt := prompts.AnswerFromGraph("Where was "+p+" born?", graph)
-	resp, err := s.Complete(Request{Prompt: prompt})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestGraphQAPicksLatestTimeVarying(t *testing.T) {
 	s := newSim(t, GPT4Params())
 	graph := "<Xcity> <population> <100>\n<Xcity> <population> <200>\n<Xcity> <population> <300>"
 	prompt := prompts.AnswerFromGraph("What is the population of Xcity?", graph)
-	resp, err := s.Complete(Request{Prompt: prompt})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestGraphQAEmptyGraphFallsBackToParametric(t *testing.T) {
 	s := newSim(t, GPT4Params())
 	p := headPerson(s)
 	prompt := prompts.AnswerFromGraph("Where was "+p+" born?", "")
-	resp, err := s.Complete(Request{Prompt: prompt})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,12 +330,12 @@ func TestSCTemperatureVariation(t *testing.T) {
 	people := s.w.OfKind(world.KindPerson)
 	for _, p := range people[len(people)-20:] {
 		q := "Where was " + s.w.Entities[p].Name + " born?"
-		greedy, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+		greedy, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for nonce := 0; nonce < 3; nonce++ {
-			sampled, err := s.Complete(Request{Prompt: prompts.CoT(q), Temperature: 0.7, Nonce: nonce})
+			sampled, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT(q), Temperature: 0.7, Nonce: nonce})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -351,7 +352,7 @@ func TestSCTemperatureVariation(t *testing.T) {
 func TestScoreRelsParse(t *testing.T) {
 	s := newSim(t, GPT35Params())
 	rels := []string{"people/person/place_of_birth", "people/person/profession", "award/award_winner/awards_won"}
-	resp, err := s.Complete(Request{Prompt: prompts.ScoreRelations("Where was X born?", rels)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.ScoreRelations("Where was X born?", rels)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +371,7 @@ func TestOpenAnswerMentionsSubjectFacts(t *testing.T) {
 	s := newSim(t, GPT4Params())
 	field := s.w.Entities[s.w.OfKind(world.KindField)[0]].Name
 	q := "Who are the most notable researchers in " + field + "?"
-	resp, err := s.Complete(Request{Prompt: prompts.CoT(q)})
+	resp, err := s.Complete(context.Background(), Request{Prompt: prompts.CoT(q)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +420,7 @@ func TestMemoryNoTruthLeak(t *testing.T) {
 		name := w.Entities[p].Name
 		in := qa.Intent{Kind: qa.KindLookup, Subject: name, Chain: []world.RelKey{world.RelBornIn}}
 		golds, _ := res.Gold(in)
-		resp, err := s.Complete(Request{Prompt: prompts.IO("Where was " + name + " born?")})
+		resp, err := s.Complete(context.Background(), Request{Prompt: prompts.IO("Where was " + name + " born?")})
 		if err != nil {
 			t.Fatal(err)
 		}
