@@ -15,11 +15,14 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/answer"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/kg"
 	"repro/internal/qa"
+	"repro/internal/serve"
 )
 
 var (
@@ -244,6 +247,78 @@ func BenchmarkCypherDecode(b *testing.B) {
 		}
 	}
 	_ = code
+}
+
+// --- Serving-path benchmarks (internal/serve) ---
+
+// BenchmarkServeCacheColdVsWarm measures the serving stack's answer cache:
+// the cold sub-benchmark re-runs the full pipeline every iteration, the
+// warm one is primed once and then answers from the LRU.
+func BenchmarkServeCacheColdVsWarm(b *testing.B) {
+	env := sharedEnv(b)
+	base, err := env.Answerer(bench.MethodOurs, bench.ModelGPT35, kg.SourceWikidata)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := answer.Query{Text: env.Suite.QALD.Questions[0].Text}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := base.Answer(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := serve.NewCache(serve.CacheConfig{Size: 64, TTL: time.Hour})
+		stack := serve.Stack(base, serve.WithCache(cache, "bench"))
+		if _, err := stack.Answer(context.Background(), q); err != nil {
+			b.Fatal(err) // prime
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stack.Answer(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := cache.Stats(); s.Hits < int64(b.N) {
+			b.Fatalf("warm path missed the cache: %+v", s)
+		}
+	})
+}
+
+// BenchmarkBatchDedup measures duplicate folding in answer.Batch: a batch
+// that repeats each distinct question 8x, with and without DedupIdentical.
+func BenchmarkBatchDedup(b *testing.B) {
+	env := sharedEnv(b)
+	ans, err := env.Answerer(bench.MethodCoT, bench.ModelGPT35, kg.SourceWikidata)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const repeats = 8
+	var queries []answer.Query
+	for _, q := range env.Suite.QALD.Questions[:4] {
+		for r := 0; r < repeats; r++ {
+			queries = append(queries, answer.Query{Text: q.Text})
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		opts []answer.BatchOption
+	}{
+		{"naive", []answer.BatchOption{answer.Concurrency(4)}},
+		{"dedup", []answer.BatchOption{answer.Concurrency(4), answer.DedupIdentical()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				items := answer.Batch(context.Background(), ans, queries, mode.opts...)
+				if err := answer.FirstError(items); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationPruneStrategy compares the paper's two-step pruning

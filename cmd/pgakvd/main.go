@@ -6,13 +6,20 @@
 // Usage:
 //
 //	pgakvd [-addr :8080] [-quick] [-seed 42] [-workers 8] [-timeout 30s]
+//	       [-cache-size 4096] [-cache-ttl 5m]
 //
 // Endpoints:
 //
 //	GET  /healthz
 //	GET  /v1/methods
-//	POST /v1/answer  {"question": "...", "method": "ours", "model": "gpt4"}
-//	POST /v1/batch   {"method": "cot", "queries": [{"question": "..."}, ...]}
+//	GET  /v1/metrics  per-method counters/latency + cache and dedup stats
+//	POST /v1/answer   {"question": "...", "method": "ours", "model": "gpt4"}
+//	POST /v1/batch    {"method": "cot", "queries": [{"question": "..."}, ...]}
+//
+// Serving middleware: every method is wrapped with per-method metrics, an
+// LRU+TTL answer cache (disable with -cache-size 0; /v1/answer reports
+// X-Cache: hit|miss) and singleflight dedup, so N concurrent identical
+// questions cost one pipeline run.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -35,21 +43,25 @@ func main() {
 	seed := flag.Int64("seed", 42, "world/model seed")
 	workers := flag.Int("workers", 8, "default batch parallelism")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline (0 = none)")
+	cacheSize := flag.Int("cache-size", 4096, "answer cache capacity (0 disables caching and singleflight)")
+	cacheTTL := flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = no expiry)")
 	flag.Parse()
 
-	if err := run(*addr, *quick, *seed, *workers, *timeout); err != nil {
+	cache := serve.CacheConfig{Size: *cacheSize, TTL: *cacheTTL}
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
 	}
 	cfg.WorldSeed = seed
 	cfg.Workers = workers
+	cfg.Cache = cache
 
 	start := time.Now()
 	env, err := bench.NewEnv(cfg)

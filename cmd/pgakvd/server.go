@@ -11,18 +11,24 @@ import (
 
 	"repro/internal/answer"
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/kg"
+	"repro/internal/serve"
 )
 
 // Server exposes the answer registry over HTTP JSON. Routes:
 //
 //	GET  /healthz     liveness probe
 //	GET  /v1/methods  registered methods, models and KG sources
-//	POST /v1/answer   answer one question
+//	GET  /v1/metrics  per-method serving metrics + cache/dedup stats
+//	POST /v1/answer   answer one question (X-Cache: hit|miss when caching)
 //	POST /v1/batch    answer many questions with a worker pool
 //
 // Every handler honours the request context: a disconnecting client or an
-// expiring per-request timeout cancels the in-flight pipeline run.
+// expiring per-request timeout cancels the in-flight pipeline run. Answers
+// flow through the environment's serving stack (metrics, answer cache,
+// singleflight), so repeated and concurrent-identical questions are served
+// without re-running the pipeline.
 type Server struct {
 	env *bench.Env
 	// timeout caps each /v1/answer run and each /v1/batch overall (0 =
@@ -44,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	return mux
@@ -124,6 +131,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// metricsResponse is the /v1/metrics body.
+type metricsResponse struct {
+	Methods      []serve.MethodSnapshot `json:"methods"`
+	Cache        serve.CacheStats       `json:"cache"`
+	CacheEnabled bool                   `json:"cache_enabled"`
+	Singleflight serve.GroupStats       `json:"singleflight"`
+	EmbedMemo    core.MemoStats         `json:"embed_memo"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := metricsResponse{
+		Methods:      s.env.Metrics.Snapshot(),
+		Cache:        s.env.Cache.Stats(),
+		CacheEnabled: s.env.Cache != nil,
+		Singleflight: s.env.DedupStats(),
+		EmbedMemo:    s.env.MemoStats(),
+	}
+	if resp.Methods == nil {
+		resp.Methods = []serve.MethodSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 	type methodInfo struct {
 		Name        string `json:"name"`
@@ -172,6 +202,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	ctx, info := serve.Attach(ctx)
 	res, err := ans.Answer(ctx, answer.Query{
 		Text:    req.Question,
 		Method:  ans.Name(),
@@ -182,6 +213,13 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err, answer.Classify(err))
 		return
+	}
+	if info.CacheUsed {
+		state := "miss"
+		if info.CacheHit {
+			state = "hit"
+		}
+		w.Header().Set("X-Cache", state)
 	}
 	writeJSON(w, http.StatusOK, toWire(res, src, req.IncludeTrace))
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/serve"
+	"repro/internal/world"
+)
+
+var (
+	cachedEnvOnce sync.Once
+	cachedEnvVal  *bench.Env
+	cachedEnvErr  error
+)
+
+// cachedEnv builds a small environment with the serving cache enabled —
+// the configuration pgakvd runs with by default.
+func cachedEnv(t *testing.T) *bench.Env {
+	t.Helper()
+	cachedEnvOnce.Do(func() {
+		cfg := bench.QuickEnvConfig()
+		cfg.Data.SimpleN = 10
+		cfg.Data.QALDN = 6
+		cfg.Data.NatureN = 4
+		cfg.Cache = serve.CacheConfig{Size: 256, TTL: time.Hour}
+		cachedEnvVal, cachedEnvErr = bench.NewEnv(cfg)
+	})
+	if cachedEnvErr != nil {
+		t.Fatal(cachedEnvErr)
+	}
+	return cachedEnvVal
+}
+
+// TestAnswerCacheHitHeaderAndLatency is the serving acceptance criterion:
+// a repeated /v1/answer query returns X-Cache: hit and is at least 10x
+// faster than the cold run.
+func TestAnswerCacheHitHeaderAndLatency(t *testing.T) {
+	env := cachedEnv(t)
+	h := NewServer(env, 30*time.Second).Handler()
+	person := env.World.Entities[env.World.OfKind(world.KindPerson)[0]]
+	req := answerRequest{
+		queryItem: queryItem{Question: "Where was " + person.Name + " born?"},
+		Method:    "ours",
+	}
+
+	coldStart := time.Now()
+	rec := postJSON(t, h, "/v1/answer", req)
+	cold := time.Since(coldStart)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold X-Cache = %q, want miss", got)
+	}
+	coldOut := decode[answerResponse](t, rec)
+
+	// Sample several warm requests and take the fastest to keep scheduler
+	// noise out of the ratio.
+	warm := time.Hour
+	var warmOut answerResponse
+	for i := 0; i < 5; i++ {
+		warmStart := time.Now()
+		rec = postJSON(t, h, "/v1/answer", req)
+		if d := time.Since(warmStart); d < warm {
+			warm = d
+		}
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warm: status %d: %s", rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Cache"); got != "hit" {
+			t.Fatalf("warm X-Cache = %q, want hit", got)
+		}
+		warmOut = decode[answerResponse](t, rec)
+	}
+	if warmOut.Answer != coldOut.Answer {
+		t.Fatalf("cached answer %q != cold answer %q", warmOut.Answer, coldOut.Answer)
+	}
+	if warm*10 > cold {
+		t.Errorf("warm %v not >=10x faster than cold %v", warm, cold)
+	}
+}
+
+// TestMetricsEndpoint: /v1/metrics reports per-method counts, latency and
+// cache stats after traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	env := cachedEnv(t)
+	h := NewServer(env, 30*time.Second).Handler()
+	city := env.World.Entities[env.World.OfKind(world.KindCity)[0]]
+	req := answerRequest{
+		queryItem: queryItem{Question: "What is the population of " + city.Name + "?"},
+		Method:    "cot",
+	}
+	for i := 0; i < 3; i++ {
+		if rec := postJSON(t, h, "/v1/answer", req); rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out metricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheEnabled {
+		t.Fatal("cache_enabled should be true")
+	}
+	if out.Cache.Hits < 2 {
+		t.Errorf("cache stats %+v, want >= 2 hits", out.Cache)
+	}
+	var cot *serve.MethodSnapshot
+	for i := range out.Methods {
+		if out.Methods[i].Method == "cot" {
+			cot = &out.Methods[i]
+		}
+	}
+	if cot == nil {
+		t.Fatalf("no cot metrics in %+v", out.Methods)
+	}
+	if cot.Count < 3 || cot.CacheHits < 2 {
+		t.Errorf("cot snapshot %+v", cot)
+	}
+	if cot.LLMCalls < 1 {
+		t.Errorf("cot should have real LLM cost from the cold run: %+v", cot)
+	}
+	if len(cot.Latency.Buckets) == 0 {
+		t.Errorf("cot latency snapshot empty: %+v", cot.Latency)
+	}
+}
+
+// TestMetricsEndpointEmpty: a fresh server serves an empty-but-valid
+// metrics document.
+func TestMetricsEndpointEmpty(t *testing.T) {
+	cfg := bench.QuickEnvConfig()
+	cfg.Data.SimpleN = 2
+	cfg.Data.QALDN = 2
+	cfg.Data.NatureN = 2
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewServer(env, time.Second).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out metricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Methods == nil || len(out.Methods) != 0 {
+		t.Errorf("methods = %v, want empty list", out.Methods)
+	}
+	if out.CacheEnabled {
+		t.Error("cache should be off in a default quick env")
+	}
+}
+
+// TestAnswerNoCacheHeaderWhenDisabled: with caching off the X-Cache header
+// must be absent entirely.
+func TestAnswerNoCacheHeaderWhenDisabled(t *testing.T) {
+	h := testHandler(t) // shared env: cache off
+	env := serverEnv(t)
+	person := env.World.Entities[env.World.OfKind(world.KindPerson)[2]]
+	rec := postJSON(t, h, "/v1/answer", answerRequest{
+		queryItem: queryItem{Question: "Where was " + person.Name + " born?"},
+		Method:    "io",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "" {
+		t.Errorf("X-Cache = %q, want unset when caching is disabled", got)
+	}
+}

@@ -1,0 +1,57 @@
+package answer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestClassifyTable drives Classify through every error class, bare and
+// wrapped (serving layers almost always see wrapped errors: handlers add
+// context with %w, batch items annotate with their index, and so on).
+func TestClassifyTable(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err)) }
+	cases := []struct {
+		name string
+		err  error
+		want ErrorClass
+	}{
+		{"nil", nil, ClassNone},
+		{"canceled", context.Canceled, ClassCanceled},
+		{"canceled wrapped", wrap(context.Canceled), ClassCanceled},
+		{"deadline", context.DeadlineExceeded, ClassDeadline},
+		{"deadline wrapped", wrap(context.DeadlineExceeded), ClassDeadline},
+		{"unknown method", &UnknownMethodError{Name: "nope"}, ClassUnknownMethod},
+		{"unknown method wrapped", wrap(&UnknownMethodError{Name: "nope"}), ClassUnknownMethod},
+		{"invalid query", &InvalidQueryError{Reason: "empty"}, ClassInvalidQuery},
+		{"invalid query wrapped", wrap(&InvalidQueryError{Reason: "empty"}), ClassInvalidQuery},
+		{"plain upstream", errors.New("llm transport broke"), ClassUpstream},
+		{"upstream wrapped", wrap(errors.New("llm transport broke")), ClassUpstream},
+		{"joined non-context", errors.Join(errors.New("a"), errors.New("b")), ClassUpstream},
+		{"joined with canceled", errors.Join(errors.New("a"), context.Canceled), ClassCanceled},
+		// Context errors outrank typed errors: a cancelled run that also
+		// wraps an InvalidQueryError surfaces as cancellation, matching
+		// the switch order in Classify.
+		{"canceled wrapping typed", fmt.Errorf("%w: %w", context.Canceled, &InvalidQueryError{Reason: "x"}), ClassCanceled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClassifyErrorMessages pins the typed errors' rendered messages,
+// which serving responses expose verbatim.
+func TestClassifyErrorMessages(t *testing.T) {
+	if msg := (&UnknownMethodError{Name: "zap"}).Error(); !strings.Contains(msg, `"zap"`) {
+		t.Errorf("UnknownMethodError message %q should name the method", msg)
+	}
+	if msg := (&InvalidQueryError{Reason: "empty question text"}).Error(); !strings.Contains(msg, "empty question text") {
+		t.Errorf("InvalidQueryError message %q should carry the reason", msg)
+	}
+}

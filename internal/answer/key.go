@@ -1,0 +1,80 @@
+package answer
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// QueryKey returns the canonical identity of a query for caching and
+// deduplication layers: two queries with the same key are answered
+// identically by the same method and model. Normalisation is deliberately
+// conservative — it folds case and whitespace and ignores anchor order,
+// but keeps every semantic knob (open flag, overrides) because those
+// change the produced answer.
+func QueryKey(method, model string, q Query) string {
+	var b strings.Builder
+	b.Grow(len(method) + len(model) + len(q.Text) + 32)
+	b.WriteString(strings.ToLower(strings.TrimSpace(method)))
+	b.WriteByte(0)
+	b.WriteString(strings.ToLower(strings.TrimSpace(model)))
+	b.WriteByte(0)
+	b.WriteString(normalizeText(q.Text))
+	b.WriteByte(0)
+	if q.Open {
+		b.WriteByte('o')
+	}
+	b.WriteByte(0)
+	if len(q.Anchors) > 0 {
+		anchors := make([]string, 0, len(q.Anchors))
+		for _, a := range q.Anchors {
+			if a = normalizeText(a); a != "" {
+				anchors = append(anchors, a)
+			}
+		}
+		sort.Strings(anchors)
+		b.WriteString(strings.Join(anchors, "\x01"))
+	}
+	b.WriteByte(0)
+	writeOverrides(&b, q.Overrides)
+	return b.String()
+}
+
+// DedupKey is QueryKey applied to the query's own routing labels — the
+// identity Batch's duplicate folding groups by.
+func (q Query) DedupKey() string { return QueryKey(q.Method, q.Model, q) }
+
+// normalizeText lower-cases, collapses all runs of whitespace to a
+// single space, and strips remaining control characters. The strip is a
+// security property, not just hygiene: the key format uses \x00/\x01 as
+// field separators, so client-supplied text must never be able to embed
+// them and mimic another query's field layout.
+func normalizeText(s string) string {
+	s = strings.ToLower(strings.Join(strings.Fields(s), " "))
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return -1
+		}
+		return r
+	}, s)
+}
+
+// writeOverrides appends the set overrides in a fixed order; unset fields
+// contribute nothing, so the zero Overrides keeps the key stable.
+func writeOverrides(b *strings.Builder, o Overrides) {
+	if o.Temperature != nil {
+		b.WriteString("t=")
+		b.WriteString(strconv.FormatFloat(*o.Temperature, 'g', -1, 64))
+		b.WriteByte(';')
+	}
+	if o.TopK != nil {
+		b.WriteString("k=")
+		b.WriteString(strconv.Itoa(*o.TopK))
+		b.WriteByte(';')
+	}
+	if o.Samples != nil {
+		b.WriteString("s=")
+		b.WriteString(strconv.Itoa(*o.Samples))
+		b.WriteByte(';')
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/qa"
+	"repro/internal/serve"
 	"repro/internal/vecstore"
 	"repro/internal/world"
 )
@@ -53,6 +54,10 @@ type EnvConfig struct {
 	// Workers is the per-cell evaluation parallelism (answer.Batch
 	// concurrency).
 	Workers int
+	// Cache configures the serving-layer answer cache every Answerer is
+	// wrapped with; Size <= 0 (the default) leaves caching off so
+	// experiment cells always measure real pipeline runs.
+	Cache serve.CacheConfig
 }
 
 // DefaultEnvConfig returns the paper-scale environment.
@@ -90,11 +95,18 @@ type Env struct {
 	Indexes map[kg.Source]*vecstore.Index
 	Models  map[string]*llm.SimLM
 
+	// Cache is the shared answer cache (nil when EnvConfig.Cache is off);
+	// Metrics collects per-method serving metrics for every request that
+	// goes through Answerer, bench cells included.
+	Cache   *serve.Cache
+	Metrics *serve.Collector
+
 	pipeMu    sync.Mutex
 	pipelines map[string]*core.Pipeline
 
 	ansMu     sync.Mutex
 	answerers map[string]answer.Answerer
+	flights   *serve.Group
 }
 
 // NewEnv builds the environment deterministically.
@@ -124,6 +136,12 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	if cfg.Core.Memo == nil {
+		// One embedding memo for the whole environment: text -> vector is
+		// encoder-level, so every pipeline and answerer across models and
+		// KG sources can share it.
+		cfg.Core.Memo = core.NewMemo(enc, 0)
+	}
 	return &Env{
 		Cfg:       cfg,
 		World:     w,
@@ -132,8 +150,11 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Stores:    stores,
 		Indexes:   indexes,
 		Models:    models,
+		Cache:     serve.NewCache(cfg.Cache), // nil when Size <= 0
+		Metrics:   serve.NewCollector(),
 		pipelines: map[string]*core.Pipeline{},
 		answerers: map[string]answer.Answerer{},
+		flights:   serve.NewGroup(),
 	}, nil
 }
 
@@ -160,7 +181,9 @@ func (e *Env) Pipeline(model string, src kg.Source) (*core.Pipeline, error) {
 }
 
 // Answerer returns (building and caching on demand) the registry method
-// bound to this environment's substrates for a model and KG source.
+// bound to this environment's substrates for a model and KG source,
+// wrapped in the serving middleware stack: metrics always, then the
+// answer cache and singleflight dedup when EnvConfig.Cache enables them.
 func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, error) {
 	key := strings.ToLower(method) + "/" + model + "/" + src.String()
 	e.ansMu.Lock()
@@ -181,9 +204,24 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
+	// The cache and singleflight group are shared across every answerer
+	// this environment hands out; the (model, source) scope keeps
+	// identical questions against different substrates from colliding.
+	scope := model + "/" + src.String()
+	mws := []serve.Middleware{serve.WithMetrics(e.Metrics)}
+	if e.Cache != nil {
+		mws = append(mws, serve.WithCache(e.Cache, scope), serve.WithSingleflight(e.flights, scope))
+	}
+	a = serve.Stack(a, mws...)
 	e.answerers[key] = a
 	return a, nil
 }
+
+// DedupStats reports the environment's singleflight counters.
+func (e *Env) DedupStats() serve.GroupStats { return e.flights.Stats() }
+
+// MemoStats reports the environment-wide embedding memo counters.
+func (e *Env) MemoStats() core.MemoStats { return e.Cfg.Core.Memo.Stats() }
 
 // Cell is one (method, model, dataset, source) evaluation result.
 type Cell struct {

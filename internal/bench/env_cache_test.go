@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/answer"
+	"repro/internal/kg"
+	"repro/internal/serve"
+)
+
+// TestEnvCachedRerunsSameScore proves the serving stack under the bench
+// harness: with the cache on, a rerun of the same cell is answered from
+// memory and scores identically to the cold run.
+func TestEnvCachedRerunsSameScore(t *testing.T) {
+	cfg := QuickEnvConfig()
+	cfg.Data.SimpleN = 8
+	cfg.Data.QALDN = 4
+	cfg.Data.NatureN = 2
+	cfg.Cache = serve.CacheConfig{Size: 256, TTL: time.Hour}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Cache == nil {
+		t.Fatal("cache should be enabled")
+	}
+
+	cold, err := env.Run(context.Background(), MethodOurs, ModelGPT35, env.Suite.QALD, kg.SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := env.Cache.Stats().Hits
+	warm, err := env.Run(context.Background(), MethodOurs, ModelGPT35, env.Suite.QALD, kg.SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Score != cold.Score {
+		t.Fatalf("cached rerun changed the score: %v -> %v", cold.Score, warm.Score)
+	}
+	gained := env.Cache.Stats().Hits - hitsBefore
+	if gained < int64(len(env.Suite.QALD.Questions)) {
+		t.Fatalf("rerun hit the cache %d times, want >= %d", gained, len(env.Suite.QALD.Questions))
+	}
+
+	// The metrics collector saw both runs under the method's name.
+	snaps := env.Metrics.Snapshot()
+	if len(snaps) == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	var total int64
+	for _, s := range snaps {
+		total += s.Count
+	}
+	if want := int64(2 * len(env.Suite.QALD.Questions)); total != want {
+		t.Fatalf("metrics recorded %d requests, want %d", total, want)
+	}
+}
+
+// TestEnvCacheOffByDefault: experiment cells must measure real runs unless
+// a caller opts in.
+func TestEnvCacheOffByDefault(t *testing.T) {
+	if DefaultEnvConfig().Cache.Size > 0 || QuickEnvConfig().Cache.Size > 0 {
+		t.Fatal("cache must default off for experiment fidelity")
+	}
+}
+
+// TestEnvCacheScopedBySource is the cross-substrate regression: the same
+// question against different KG sources (or models) must never share a
+// cache entry, even though Env shares one Cache across all answerers.
+func TestEnvCacheScopedBySource(t *testing.T) {
+	cfg := QuickEnvConfig()
+	cfg.Data.SimpleN = 4
+	cfg.Data.QALDN = 2
+	cfg.Data.NatureN = 2
+	cfg.Cache = serve.CacheConfig{Size: 64}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := answer.Query{Text: env.Suite.Simple.Questions[0].Text}
+
+	missesBefore := env.Cache.Stats().Misses
+	for _, src := range []kg.Source{kg.SourceWikidata, kg.SourceFreebase} {
+		ans, err := env.Answerer(MethodIO, ModelGPT35, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ans.Answer(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g4, err := env.Answerer(MethodIO, ModelGPT4, kg.SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g4.Answer(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	s := env.Cache.Stats()
+	if got := s.Misses - missesBefore; got != 3 {
+		t.Fatalf("same question over 2 sources + 2 models shared entries: %d misses, want 3 (stats %+v)", got, s)
+	}
+	if s.Hits != 0 {
+		t.Fatalf("no request should have hit: %+v", s)
+	}
+}

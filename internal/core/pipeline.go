@@ -89,6 +89,11 @@ type Config struct {
 	// MaxSubjects bounds the kept-subject count under PruneNone (and acts
 	// as a safety cap otherwise); 0 means 12.
 	MaxSubjects int
+	// Memo optionally shares an embedding memo across pipelines (see
+	// NewMemo). nil gives each pipeline its own. Callers that rebuild
+	// pipelines per request (the answer registry) must share one memo or
+	// nothing persists between questions.
+	Memo *Memo
 }
 
 // DefaultConfig returns the paper's settings.
@@ -108,6 +113,9 @@ type Pipeline struct {
 	store  *kg.Store
 	index  *vecstore.Index
 	cfg    Config
+	// memo caches pseudo-triple embeddings across questions so repeated
+	// surfaces (shared anchors, bench reruns) are encoded once per session.
+	memo *Memo
 }
 
 // New builds a pipeline. The index must have been built over the store
@@ -131,7 +139,17 @@ func New(client llm.Client, store *kg.Store, index *vecstore.Index, cfg Config) 
 	if cfg.MaxSubjects <= 0 {
 		cfg.MaxSubjects = 12
 	}
-	return &Pipeline{client: client, store: store, index: index, cfg: cfg}, nil
+	memo := cfg.Memo
+	if memo == nil {
+		memo = NewMemo(index.Encoder(), 0)
+	}
+	return &Pipeline{
+		client: client,
+		store:  store,
+		index:  index,
+		cfg:    cfg,
+		memo:   memo,
+	}, nil
 }
 
 // Config returns the pipeline's configuration.
@@ -269,12 +287,14 @@ func (p *Pipeline) QueryAndPrune(gp *kg.Graph, tr *Trace) *kg.Graph {
 		pseudo = pseudo[:p.cfg.MaxPseudoTriples]
 	}
 
-	// Step 2: semantic query — top-K per pseudo-triple forms Gt.
+	// Step 2: semantic query — top-K per pseudo-triple forms Gt. Queries
+	// are encoded through the session memo so repeated pseudo-triples skip
+	// the hashing pass.
 	queries := make([]string, len(pseudo))
 	for i, t := range pseudo {
 		queries[i] = t.Text()
 	}
-	perTriple := p.index.BatchSearch(queries, p.cfg.TopK)
+	perTriple := p.index.BatchSearchWith(p.memo.Encode, queries, p.cfg.TopK)
 	var gt []vecstore.Hit
 	for _, hits := range perTriple {
 		gt = append(gt, hits...)
@@ -556,3 +576,6 @@ func calibrate(mean, maxMean float64) float64 {
 // Encoder returns the encoder used by the pipeline's index (needed by
 // callers that must encode queries consistently).
 func (p *Pipeline) Encoder() *embed.Encoder { return p.index.Encoder() }
+
+// MemoStats reports the embedding memo's hit/miss counters.
+func (p *Pipeline) MemoStats() MemoStats { return p.memo.Stats() }

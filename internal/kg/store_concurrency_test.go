@@ -1,0 +1,127 @@
+package kg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// concurrencyStore builds a store with enough shape to make the read
+// paths non-trivial.
+func concurrencyStore() *Store {
+	st := NewStore(SourceWikidata)
+	for i := 0; i < 200; i++ {
+		subj := fmt.Sprintf("Entity%d", i%50)
+		st.Add(Triple{
+			Subject:  subj,
+			Relation: fmt.Sprintf("rel%d", i%7),
+			Object:   fmt.Sprintf("Object%d", i),
+			Ord:      i % 3,
+		})
+	}
+	return st
+}
+
+// TestStoreConcurrentReadsAfterFreeze hammers every read path from 32
+// goroutines on a frozen store; run with -race.
+func TestStoreConcurrentReadsAfterFreeze(t *testing.T) {
+	st := concurrencyStore()
+	st.Freeze()
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				subj := fmt.Sprintf("Entity%d", (g+i)%50)
+				if len(st.Subject(subj)) == 0 {
+					t.Errorf("subject %s lost", subj)
+					return
+				}
+				st.SubjectRelation(subj, fmt.Sprintf("rel%d", i%7))
+				st.RelationObject(fmt.Sprintf("rel%d", i%7), fmt.Sprintf("Object%d", i%200))
+				if !st.HasSubject(subj) {
+					t.Errorf("HasSubject(%s) = false", subj)
+					return
+				}
+				if i%20 == 0 {
+					_ = st.Len()
+					_ = st.Stats()
+					_ = st.All()
+					_ = st.Subjects()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStoreFreezeRacesReaders freezes the store while 32 goroutines read:
+// Freeze sorts posting lists in place, so it must fully exclude readers.
+// Run with -race.
+func TestStoreFreezeRacesReaders(t *testing.T) {
+	st := concurrencyStore()
+	const goroutines = 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 100; i++ {
+				subj := fmt.Sprintf("Entity%d", (g+i)%50)
+				got := st.SubjectRelation(subj, fmt.Sprintf("rel%d", i%7))
+				for _, tr := range got {
+					if tr.Subject != subj {
+						t.Errorf("SubjectRelation returned foreign triple %+v", tr)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		st.Freeze()
+	}()
+	close(start)
+	wg.Wait()
+
+	// After the dust settles, SR lists are Ord-sorted.
+	for i := 0; i < 50; i++ {
+		subj := fmt.Sprintf("Entity%d", i)
+		for r := 0; r < 7; r++ {
+			ts := st.SubjectRelation(subj, fmt.Sprintf("rel%d", r))
+			for j := 1; j < len(ts); j++ {
+				if ts[j-1].Ord > ts[j].Ord {
+					t.Fatalf("post-freeze SR list unsorted for %s/rel%d", subj, r)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreConcurrentFreezeIdempotent: many goroutines freezing at once
+// must leave one consistent frozen store.
+func TestStoreConcurrentFreezeIdempotent(t *testing.T) {
+	st := concurrencyStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.Freeze()
+		}()
+	}
+	wg.Wait()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Freeze should panic")
+		}
+	}()
+	st.Add(Triple{Subject: "s", Relation: "r", Object: "o"})
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/answer"
+)
+
+// latencyBucketsMS are the histogram upper bounds in milliseconds; the
+// final implicit bucket is +Inf. Exponential-ish spacing covers the range
+// from cache hits (sub-millisecond) to slow multi-call pipeline runs.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// errorClasses is the fixed set of answer error classes tracked per slot;
+// anything new lands in the last, catch-all slot.
+var errorClasses = []answer.ErrorClass{
+	answer.ClassCanceled,
+	answer.ClassDeadline,
+	answer.ClassUnknownMethod,
+	answer.ClassInvalidQuery,
+	answer.ClassUpstream,
+}
+
+// Collector aggregates per-method serving metrics. The hot path is
+// lock-cheap: one sync.Map lookup plus a handful of atomic adds; the
+// mutex is only taken to insert a method's slot the first time it is seen.
+type Collector struct {
+	methods sync.Map // method name -> *methodStats
+	mu      sync.Mutex
+	start   time.Time
+}
+
+// methodStats is one method's counters; every field is atomic.
+type methodStats struct {
+	count     atomic.Int64
+	classes   [5]atomic.Int64 // indexed parallel to errorClasses
+	other     atomic.Int64    // error classes outside the fixed set
+	cacheHits atomic.Int64
+	shared    atomic.Int64
+
+	latencySumNS atomic.Int64
+	buckets      [13]atomic.Int64 // len(latencyBucketsMS) + 1 (+Inf)
+
+	llmCalls         atomic.Int64
+	promptTokens     atomic.Int64
+	completionTokens atomic.Int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{start: time.Now()}
+}
+
+// stats returns (creating if needed) the method's slot.
+func (c *Collector) stats(method string) *methodStats {
+	if s, ok := c.methods.Load(method); ok {
+		return s.(*methodStats)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.methods.Load(method); ok {
+		return s.(*methodStats)
+	}
+	s := &methodStats{}
+	c.methods.Store(method, s)
+	return s
+}
+
+// Record registers one completed request. usage carries the result's LLM
+// accounting; pass a zero Result for failed or cache-served requests so
+// upstream cost is attributed only to real runs.
+func (c *Collector) Record(method string, elapsed time.Duration, err error, usage answer.Result, info Info) {
+	if c == nil {
+		return
+	}
+	s := c.stats(method)
+	s.count.Add(1)
+	if err != nil {
+		class := answer.Classify(err)
+		slot := -1
+		for i, known := range errorClasses {
+			if class == known {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			s.classes[slot].Add(1)
+		} else {
+			s.other.Add(1)
+		}
+	}
+	if info.CacheHit {
+		s.cacheHits.Add(1)
+	}
+	if info.Shared {
+		s.shared.Add(1)
+	}
+	s.latencySumNS.Add(int64(elapsed))
+	ms := float64(elapsed) / float64(time.Millisecond)
+	slot := len(latencyBucketsMS)
+	for i, bound := range latencyBucketsMS {
+		if ms <= bound {
+			slot = i
+			break
+		}
+	}
+	s.buckets[slot].Add(1)
+	s.llmCalls.Add(int64(usage.LLMCalls))
+	s.promptTokens.Add(int64(usage.PromptTokens))
+	s.completionTokens.Add(int64(usage.CompletionTokens))
+}
+
+// LatencySnapshot summarises a method's latency distribution.
+type LatencySnapshot struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	// Buckets maps each upper bound (ms; -1 = +Inf) to its count, in
+	// bound order.
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one histogram cell.
+type BucketCount struct {
+	UpperMS float64 `json:"upper_ms"` // -1 means +Inf
+	Count   int64   `json:"count"`
+}
+
+// MethodSnapshot is one method's point-in-time metrics.
+type MethodSnapshot struct {
+	Method           string           `json:"method"`
+	Count            int64            `json:"count"`
+	Errors           int64            `json:"errors"`
+	ErrorsByClass    map[string]int64 `json:"errors_by_class,omitempty"`
+	CacheHits        int64            `json:"cache_hits"`
+	SharedRuns       int64            `json:"shared_runs"`
+	LLMCalls         int64            `json:"llm_calls"`
+	PromptTokens     int64            `json:"prompt_tokens"`
+	CompletionTokens int64            `json:"completion_tokens"`
+	Latency          LatencySnapshot  `json:"latency"`
+}
+
+// Snapshot returns every method's metrics, sorted by method name.
+func (c *Collector) Snapshot() []MethodSnapshot {
+	if c == nil {
+		return nil
+	}
+	var out []MethodSnapshot
+	c.methods.Range(func(k, v any) bool {
+		s := v.(*methodStats)
+		snap := MethodSnapshot{
+			Method:           k.(string),
+			Count:            s.count.Load(),
+			CacheHits:        s.cacheHits.Load(),
+			SharedRuns:       s.shared.Load(),
+			LLMCalls:         s.llmCalls.Load(),
+			PromptTokens:     s.promptTokens.Load(),
+			CompletionTokens: s.completionTokens.Load(),
+		}
+		byClass := map[string]int64{}
+		for i, class := range errorClasses {
+			if n := s.classes[i].Load(); n > 0 {
+				byClass[string(class)] = n
+				snap.Errors += n
+			}
+		}
+		if n := s.other.Load(); n > 0 {
+			byClass["other"] = n
+			snap.Errors += n
+		}
+		if len(byClass) > 0 {
+			snap.ErrorsByClass = byClass
+		}
+		snap.Latency = latencySnapshot(s)
+		out = append(out, snap)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Method < out[j].Method })
+	return out
+}
+
+// latencySnapshot folds a method's histogram into mean and estimated
+// quantiles (linear interpolation within the winning bucket).
+func latencySnapshot(s *methodStats) LatencySnapshot {
+	var snap LatencySnapshot
+	var total int64
+	counts := make([]int64, len(latencyBucketsMS)+1)
+	for i := range counts {
+		counts[i] = s.buckets[i].Load()
+		total += counts[i]
+		upper := -1.0
+		if i < len(latencyBucketsMS) {
+			upper = latencyBucketsMS[i]
+		}
+		snap.Buckets = append(snap.Buckets, BucketCount{UpperMS: upper, Count: counts[i]})
+	}
+	if total == 0 {
+		return snap
+	}
+	snap.MeanMS = float64(s.latencySumNS.Load()) / float64(total) / float64(time.Millisecond)
+	snap.P50MS = quantile(counts, total, 0.50)
+	snap.P95MS = quantile(counts, total, 0.95)
+	snap.P99MS = quantile(counts, total, 0.99)
+	return snap
+}
+
+// quantile estimates the q-quantile from bucket counts: the position
+// interpolated linearly inside the bucket that crosses rank q*total. The
+// +Inf bucket reports its lower bound.
+func quantile(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	var seen float64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBucketsMS[i-1]
+			}
+			if i >= len(latencyBucketsMS) {
+				return lo // +Inf bucket: report its floor
+			}
+			hi := latencyBucketsMS[i]
+			frac := (rank - seen) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(n)
+	}
+	return 0
+}
+
+// WithMetrics records every request's count, latency, error class and —
+// for real (non-cache-hit) runs — LLM cost. Place it outermost so its
+// clock covers the whole stack. A nil collector yields a no-op middleware.
+func WithMetrics(c *Collector) Middleware {
+	return func(inner answer.Answerer) answer.Answerer {
+		if c == nil {
+			return inner
+		}
+		return &meteredAnswerer{named: named{inner}, collector: c}
+	}
+}
+
+type meteredAnswerer struct {
+	named
+	collector *Collector
+}
+
+func (a *meteredAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
+	info := infoFrom(ctx)
+	if info == nil {
+		// No caller-attached Info: attach one so inner layers can still
+		// report cache hits for cost attribution.
+		ctx, info = Attach(ctx)
+	}
+	start := time.Now()
+	res, err := a.inner.Answer(ctx, q)
+	usage := res
+	if info.CacheHit || info.Shared {
+		// The upstream cost was (or will be) attributed to the run that
+		// actually executed; count nothing twice.
+		usage = answer.Result{}
+	}
+	a.collector.Record(a.inner.Name(), time.Since(start), err, usage, *info)
+	return res, err
+}

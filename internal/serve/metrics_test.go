@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/answer"
+)
+
+func TestCollectorRecordAndSnapshot(t *testing.T) {
+	c := NewCollector()
+	usage := answer.Result{LLMCalls: 3, PromptTokens: 100, CompletionTokens: 10}
+	c.Record("ours", 4*time.Millisecond, nil, usage, Info{})
+	c.Record("ours", 40*time.Millisecond, nil, usage, Info{})
+	c.Record("ours", 2*time.Millisecond, context.Canceled, answer.Result{}, Info{})
+	c.Record("ours", time.Millisecond/2, nil, answer.Result{}, Info{CacheHit: true})
+	c.Record("cot", 8*time.Millisecond, &answer.InvalidQueryError{Reason: "empty"}, answer.Result{}, Info{})
+
+	snaps := c.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("methods = %d, want 2", len(snaps))
+	}
+	// Sorted by name: cot first.
+	cot, ours := snaps[0], snaps[1]
+	if cot.Method != "cot" || ours.Method != "ours" {
+		t.Fatalf("order %q %q", cot.Method, ours.Method)
+	}
+	if ours.Count != 4 || ours.Errors != 1 || ours.CacheHits != 1 {
+		t.Errorf("ours %+v", ours)
+	}
+	if ours.ErrorsByClass[string(answer.ClassCanceled)] != 1 {
+		t.Errorf("ours errors by class %v", ours.ErrorsByClass)
+	}
+	if ours.LLMCalls != 6 || ours.PromptTokens != 200 || ours.CompletionTokens != 20 {
+		t.Errorf("ours usage %+v", ours)
+	}
+	if cot.Count != 1 || cot.ErrorsByClass[string(answer.ClassInvalidQuery)] != 1 {
+		t.Errorf("cot %+v", cot)
+	}
+	if ours.Latency.MeanMS <= 0 || ours.Latency.P50MS <= 0 || ours.Latency.P95MS < ours.Latency.P50MS {
+		t.Errorf("latency %+v", ours.Latency)
+	}
+	var bucketTotal int64
+	for _, b := range ours.Latency.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != ours.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, ours.Count)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Record("m", time.Millisecond, nil, answer.Result{}, Info{})
+	if c.Snapshot() != nil {
+		t.Fatal("nil collector snapshot should be nil")
+	}
+}
+
+func TestQuantileEstimates(t *testing.T) {
+	// 100 requests all in the (2ms, 5ms] bucket: every quantile lands
+	// inside it.
+	counts := make([]int64, len(latencyBucketsMS)+1)
+	counts[2] = 100
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := quantile(counts, 100, q)
+		if got <= 2 || got > 5 {
+			t.Errorf("q%.2f = %v, want in (2, 5]", q, got)
+		}
+	}
+	// +Inf bucket reports its floor.
+	counts = make([]int64, len(latencyBucketsMS)+1)
+	counts[len(counts)-1] = 10
+	if got := quantile(counts, 10, 0.5); got != latencyBucketsMS[len(latencyBucketsMS)-1] {
+		t.Errorf("+Inf bucket quantile = %v", got)
+	}
+}
+
+func TestMetricsMiddlewareAttributesCost(t *testing.T) {
+	stub := &stubAnswerer{name: "stub"}
+	collector := NewCollector()
+	cache := NewCache(CacheConfig{Size: 4})
+	stack := Stack(stub, WithMetrics(collector), WithCache(cache, ""))
+	q := answer.Query{Text: "q?"}
+
+	for i := 0; i < 3; i++ {
+		if _, err := stack.Answer(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := collector.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot %+v", snaps)
+	}
+	s := snaps[0]
+	if s.Count != 3 || s.CacheHits != 2 {
+		t.Fatalf("count=%d hits=%d, want 3/2", s.Count, s.CacheHits)
+	}
+	// Only the one real run contributes LLM cost.
+	if s.LLMCalls != 3 || s.PromptTokens != 100 {
+		t.Fatalf("usage should count the single real run once: %+v", s)
+	}
+}
+
+func TestMetricsMiddlewareRecordsErrors(t *testing.T) {
+	stub := &stubAnswerer{name: "stub", err: fmt.Errorf("wrapped: %w", errors.New("boom"))}
+	collector := NewCollector()
+	stack := Stack(stub, WithMetrics(collector))
+	if _, err := stack.Answer(context.Background(), answer.Query{Text: "q?"}); err == nil {
+		t.Fatal("want error")
+	}
+	s := collector.Snapshot()[0]
+	if s.Errors != 1 || s.ErrorsByClass[string(answer.ClassUpstream)] != 1 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.LLMCalls != 0 {
+		t.Fatalf("failed run contributed usage: %+v", s)
+	}
+}

@@ -1,0 +1,83 @@
+// Package serve is the serving-scale middleware layer over the unified
+// answer API: composable Answerer wrappers that production front doors
+// (cmd/pgakvd) and the bench harness stack between callers and the
+// underlying method.
+//
+//	stack := serve.Stack(ans,
+//	    serve.WithMetrics(collector),    // outermost: sees every request
+//	    serve.WithCache(cache),          // answers repeats from memory
+//	    serve.WithSingleflight(group),   // N concurrent identical queries -> 1 run
+//	)
+//
+// The three middlewares are independent; any subset composes. Request
+// introspection (did the cache hit? was the run shared?) flows through an
+// Info attached to the context with Attach, so HTTP handlers can emit
+// X-Cache headers and metrics can attribute LLM cost to real runs only.
+package serve
+
+import (
+	"context"
+
+	"repro/internal/answer"
+)
+
+// Middleware wraps an Answerer with one serving concern.
+type Middleware func(answer.Answerer) answer.Answerer
+
+// Stack applies middlewares so that the first listed is the outermost
+// layer — Stack(a, m1, m2) answers through m1(m2(a)).
+func Stack(ans answer.Answerer, mws ...Middleware) answer.Answerer {
+	for i := len(mws) - 1; i >= 0; i-- {
+		if mws[i] != nil {
+			ans = mws[i](ans)
+		}
+	}
+	return ans
+}
+
+// Info reports what the serving stack did with one request. Attach it to
+// the context before calling Answer; the middlewares fill it in.
+type Info struct {
+	// CacheHit is true when the answer came from the cache.
+	CacheHit bool
+	// CacheUsed is true when a cache middleware saw the request at all
+	// (distinguishes "miss" from "no cache configured").
+	CacheUsed bool
+	// Shared is true when singleflight coalesced this request onto
+	// another in-flight identical run.
+	Shared bool
+}
+
+type infoKey struct{}
+
+// Attach returns a context carrying a fresh Info for one request.
+func Attach(ctx context.Context) (context.Context, *Info) {
+	info := &Info{}
+	return context.WithValue(ctx, infoKey{}, info), info
+}
+
+// infoFrom returns the request's Info, or nil when none was attached.
+func infoFrom(ctx context.Context) *Info {
+	info, _ := ctx.Value(infoKey{}).(*Info)
+	return info
+}
+
+// named wraps an inner Answerer preserving its Name; middlewares embed it.
+type named struct{ inner answer.Answerer }
+
+func (n named) Name() string { return n.inner.Name() }
+
+// key computes the cache/singleflight identity for a query against the
+// wrapped method. The query's own labels win so per-request model routing
+// stays distinct; the bound method name is the fallback. scope namespaces
+// everything the query itself cannot express — callers sharing one Cache
+// or Group across answerers bound to different substrates (KG source,
+// model binding) MUST pass a distinct scope per binding or identical
+// questions will collide across them.
+func key(ans answer.Answerer, scope string, q answer.Query) string {
+	method := q.Method
+	if method == "" {
+		method = ans.Name()
+	}
+	return scope + "\x02" + answer.QueryKey(method, q.Model, q)
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/answer"
+)
+
+// stubAnswerer is a controllable fake method: counts runs, optionally
+// blocks until released, optionally fails.
+type stubAnswerer struct {
+	name  string
+	runs  atomic.Int64
+	delay time.Duration
+	block chan struct{} // if non-nil, Answer waits for it (or ctx)
+	err   error
+}
+
+func (s *stubAnswerer) Name() string { return s.name }
+
+func (s *stubAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
+	start := time.Now()
+	s.runs.Add(1)
+	if s.block != nil {
+		select {
+		case <-s.block:
+		case <-ctx.Done():
+			return answer.Result{}, ctx.Err()
+		}
+	}
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return answer.Result{}, ctx.Err()
+		}
+	}
+	if s.err != nil {
+		return answer.Result{}, s.err
+	}
+	return answer.Result{
+		Answer: "answer to " + q.Text, Method: s.name, Elapsed: time.Since(start),
+		LLMCalls: 3, PromptTokens: 100, CompletionTokens: 10,
+	}, nil
+}
+
+func TestStackOrderOutermostFirst(t *testing.T) {
+	stub := &stubAnswerer{name: "stub"}
+	var order []string
+	mw := func(label string) Middleware {
+		return func(inner answer.Answerer) answer.Answerer {
+			return answerFunc{name: inner.Name(), fn: func(ctx context.Context, q answer.Query) (answer.Result, error) {
+				order = append(order, label)
+				return inner.Answer(ctx, q)
+			}}
+		}
+	}
+	stack := Stack(stub, mw("outer"), mw("inner"))
+	if _, err := stack.Answer(context.Background(), answer.Query{Text: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v, want [outer inner]", order)
+	}
+	if stack.Name() != "stub" {
+		t.Errorf("stack name %q", stack.Name())
+	}
+}
+
+// answerFunc adapts a closure to answer.Answerer for middleware tests.
+type answerFunc struct {
+	name string
+	fn   func(context.Context, answer.Query) (answer.Result, error)
+}
+
+func (a answerFunc) Name() string { return a.name }
+func (a answerFunc) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
+	return a.fn(ctx, q)
+}
+
+func TestStackSkipsNilMiddleware(t *testing.T) {
+	stub := &stubAnswerer{name: "stub"}
+	stack := Stack(stub, WithCache(nil, ""), WithSingleflight(nil, ""), WithMetrics(nil), nil)
+	if stack != answer.Answerer(stub) {
+		t.Fatal("nil middlewares should leave the answerer untouched")
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	ctx, info := Attach(context.Background())
+	got := infoFrom(ctx)
+	if got != info {
+		t.Fatal("infoFrom should return the attached Info")
+	}
+	if infoFrom(context.Background()) != nil {
+		t.Fatal("bare context must have no Info")
+	}
+}

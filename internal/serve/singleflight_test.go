@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/answer"
+)
+
+// TestSingleflightCoalesces is the dedup acceptance proof: N concurrent
+// identical queries trigger exactly one underlying pipeline run and all
+// receive its answer.
+func TestSingleflightCoalesces(t *testing.T) {
+	const n = 16
+	stub := &stubAnswerer{name: "stub", block: make(chan struct{})}
+	group := NewGroup()
+	var entered atomic.Int64
+	counting := func(inner answer.Answerer) answer.Answerer {
+		return answerFunc{name: inner.Name(), fn: func(ctx context.Context, q answer.Query) (answer.Result, error) {
+			entered.Add(1)
+			return inner.Answer(ctx, q)
+		}}
+	}
+	stack := Stack(stub, counting, WithSingleflight(group, ""))
+	q := answer.Query{Text: "Where was X born?"}
+
+	var wg sync.WaitGroup
+	results := make([]answer.Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = stack.Answer(context.Background(), q)
+		}(i)
+	}
+	// Let every caller reach the singleflight layer and pile up behind the
+	// blocked leader before releasing it.
+	for entered.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stub.block)
+	wg.Wait()
+
+	if got := stub.runs.Load(); got != 1 {
+		t.Fatalf("underlying runs = %d, want exactly 1", got)
+	}
+	totalCalls := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i].Answer != results[0].Answer {
+			t.Fatalf("caller %d got %q, caller 0 got %q", i, results[i].Answer, results[0].Answer)
+		}
+		totalCalls += results[i].LLMCalls
+	}
+	// Followers report zero usage — summing cost across all N responses
+	// must equal the single real run's cost (the stub reports 3 calls).
+	if totalCalls != 3 {
+		t.Fatalf("summed LLM calls = %d across %d callers, want 3 (leader only)", totalCalls, n)
+	}
+	if s := group.Stats(); s.Runs != 1 || s.Shared != n-1 {
+		t.Fatalf("group stats %+v, want runs=1 shared=%d", s, n-1)
+	}
+}
+
+func TestSingleflightDistinctKeysRunIndependently(t *testing.T) {
+	stub := &stubAnswerer{name: "stub"}
+	stack := Stack(stub, WithSingleflight(NewGroup(), ""))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := answer.Query{Text: "question " + string(rune('a'+i))}
+			if _, err := stack.Answer(context.Background(), q); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := stub.runs.Load(); got != 4 {
+		t.Fatalf("distinct queries: runs = %d, want 4", got)
+	}
+}
+
+// TestSingleflightFollowerSurvivesLeaderCancel: a follower whose own
+// context is live must not inherit the leader's cancellation — it retries
+// with its own run.
+func TestSingleflightFollowerSurvivesLeaderCancel(t *testing.T) {
+	stub := &stubAnswerer{name: "stub", block: make(chan struct{})}
+	group := NewGroup()
+	stack := Stack(stub, WithSingleflight(group, ""))
+	q := answer.Query{Text: "q?"}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := stack.Answer(leaderCtx, q)
+		leaderDone <- err
+	}()
+	for stub.runs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := stack.Answer(context.Background(), q)
+		followerDone <- err
+	}()
+	// Give the follower time to join the leader's flight, then cancel the
+	// leader. The follower's retry lap will be a fresh (unblocked after
+	// close) run.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderDone; err == nil {
+		t.Fatal("leader should fail with its cancellation")
+	}
+	close(stub.block)
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower with a live context should succeed, got %v", err)
+	}
+	if got := stub.runs.Load(); got != 2 {
+		t.Fatalf("runs = %d, want 2 (cancelled leader + follower retry)", got)
+	}
+}
+
+func TestSingleflightFollowerOwnCancel(t *testing.T) {
+	stub := &stubAnswerer{name: "stub", block: make(chan struct{})}
+	stack := Stack(stub, WithSingleflight(NewGroup(), ""))
+	q := answer.Query{Text: "q?"}
+
+	go stack.Answer(context.Background(), q) //nolint:errcheck — released below
+	for stub.runs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := stack.Answer(ctx, q); err == nil {
+		t.Fatal("cancelled follower should fail immediately")
+	}
+	close(stub.block)
+}
+
+func TestGroupNilStats(t *testing.T) {
+	var g *Group
+	if s := g.Stats(); s != (GroupStats{}) {
+		t.Fatalf("nil group stats %+v", s)
+	}
+}
+
+// panickyAnswerer panics on its first run, succeeds afterwards.
+type panickyAnswerer struct {
+	stub  stubAnswerer
+	first atomic.Bool
+}
+
+func (p *panickyAnswerer) Name() string { return "panicky" }
+func (p *panickyAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
+	if p.first.CompareAndSwap(false, true) {
+		panic("induced")
+	}
+	return p.stub.Answer(ctx, q)
+}
+
+// TestSingleflightLeaderPanicDoesNotPoisonKey: a panicking leader must not
+// leak its flight — followers get an error (or a clean retry result), and
+// the key works again afterwards.
+func TestSingleflightLeaderPanicDoesNotPoisonKey(t *testing.T) {
+	ans := &panickyAnswerer{stub: stubAnswerer{name: "panicky"}}
+	stack := Stack(ans, WithSingleflight(NewGroup(), ""))
+	q := answer.Query{Text: "q?"}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic should propagate")
+			}
+		}()
+		stack.Answer(context.Background(), q) //nolint:errcheck — panics
+	}()
+
+	// The key must not be poisoned: the next identical query runs fresh
+	// and succeeds instead of hanging on a leaked flight.
+	done := make(chan error, 1)
+	go func() {
+		_, err := stack.Answer(context.Background(), q)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("post-panic query failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-panic query hung: flight entry leaked")
+	}
+}

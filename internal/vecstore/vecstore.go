@@ -116,6 +116,18 @@ func (idx *Index) SearchVector(qv embed.Vector, k int) []Hit {
 	return idx.searchVec(qv, k, nil)
 }
 
+// SearchPreEncoded is Search for callers that already hold the query's
+// embedding (e.g. from a memo): it keeps the token-filtered candidate
+// path — which needs the query text — but skips re-encoding. The vector
+// must have been produced by this index's encoder for the given text.
+func (idx *Index) SearchPreEncoded(query string, qv embed.Vector, k int) []Hit {
+	cands := idx.candidates(query)
+	if len(cands) < k {
+		return idx.searchVec(qv, k, nil)
+	}
+	return idx.searchVec(qv, k, cands)
+}
+
 // candidates returns the offsets of triples sharing at least one query
 // token, deduplicated, or nil when the query has no indexed token.
 func (idx *Index) candidates(query string) []int32 {
@@ -199,6 +211,14 @@ func (idx *Index) searchVec(qv embed.Vector, k int, subset []int32) []Hit {
 // BatchSearch runs Search for each query concurrently and returns results
 // in query order.
 func (idx *Index) BatchSearch(queries []string, k int) [][]Hit {
+	return idx.BatchSearchWith(idx.enc.Encode, queries, k)
+}
+
+// BatchSearchWith is BatchSearch with the query embeddings supplied by
+// encode instead of the index's encoder — the hook for callers that
+// memoise embeddings (internal/core's session memo). encode must be safe
+// for concurrent use and consistent with the index's encoder.
+func (idx *Index) BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]Hit {
 	out := make([][]Hit, len(queries))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 8)
@@ -208,7 +228,7 @@ func (idx *Index) BatchSearch(queries []string, k int) [][]Hit {
 		go func(i int, q string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = idx.Search(q, k)
+			out[i] = idx.SearchPreEncoded(q, encode(q), k)
 		}(i, q)
 	}
 	wg.Wait()

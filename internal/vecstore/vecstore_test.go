@@ -208,3 +208,28 @@ func TestDeterministicTieBreak(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchPreEncodedMatchesSearch: searching with a pre-encoded vector
+// (the core embedding memo's path) must return exactly what Search does.
+func TestSearchPreEncodedMatchesSearch(t *testing.T) {
+	idx := buildTestIndex(t)
+	for _, query := range []string{
+		"China population 1400000000",
+		"Turing Award winners",
+		"area of Lake Superior",
+		"",                    // no tokens: empty both ways
+		"zzz qqq vvv unknown", // no overlap: exact-scan fallback
+	} {
+		qv := idx.Encoder().Encode(query)
+		want := idx.Search(query, 3)
+		got := idx.SearchPreEncoded(query, qv, 3)
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d hits vs %d", query, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Triple.Key() != want[i].Triple.Key() || got[i].Score != want[i].Score {
+				t.Errorf("%q hit %d: %+v vs %+v", query, i, got[i], want[i])
+			}
+		}
+	}
+}
