@@ -7,19 +7,32 @@
 //
 //	pgakvd [-addr :8080] [-quick] [-seed 42] [-workers 8] [-timeout 30s]
 //	       [-cache-size 4096] [-cache-ttl 5m]
+//	       [-shard-size 4096] [-compact-threshold 0]
 //
 // Endpoints:
 //
 //	GET  /healthz
 //	GET  /v1/methods
-//	GET  /v1/metrics  per-method counters/latency + cache and dedup stats
-//	POST /v1/answer   {"question": "...", "method": "ours", "model": "gpt4"}
-//	POST /v1/batch    {"method": "cot", "queries": [{"question": "..."}, ...]}
+//	GET  /v1/metrics          per-method counters/latency + cache, dedup and substrate stats
+//	POST /v1/answer           {"question": "...", "method": "ours", "model": "gpt4"}
+//	POST /v1/batch            {"method": "cot", "queries": [{"question": "..."}, ...]}
+//	POST /v1/ingest           {"kg": "wikidata", "triples": [{"subject": "...", "relation": "...", "object": "..."}]}
+//	POST /v1/snapshot/compact {"kg": "wikidata"}
 //
 // Serving middleware: every method is wrapped with per-method metrics, an
 // LRU+TTL answer cache (disable with -cache-size 0; /v1/answer reports
 // X-Cache: hit|miss) and singleflight dedup, so N concurrent identical
 // questions cost one pipeline run.
+//
+// Live ingest: each KG source is a versioned substrate — a sharded,
+// concurrently-searched vector index over a frozen base plus a delta of
+// ingested triples. /v1/ingest publishes a new snapshot atomically (the
+// epoch in every answer identifies which one served it), and
+// /v1/snapshot/compact folds the delta into a fresh re-sharded base.
+// Cache keys are epoch-scoped, so a swap invalidates all prior answers;
+// -compact-threshold N (default 2048) compacts automatically once the
+// delta holds N triples, which also bounds per-ingest publish cost — the
+// delta store copy each publish makes never exceeds the threshold.
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/serve"
+	"repro/internal/substrate"
 )
 
 func main() {
@@ -45,16 +59,19 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline (0 = none)")
 	cacheSize := flag.Int("cache-size", 4096, "answer cache capacity (0 disables caching and singleflight)")
 	cacheTTL := flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = no expiry)")
+	shardSize := flag.Int("shard-size", 0, "vector-index segment size (0 = vecstore default)")
+	compactThreshold := flag.Int("compact-threshold", 2048, "auto-compact when a delta reaches this many triples (0 = manual only; the default bounds per-ingest publish cost)")
 	flag.Parse()
 
 	cache := serve.CacheConfig{Size: *cacheSize, TTL: *cacheTTL}
-	if err := run(*addr, *quick, *seed, *workers, *timeout, cache); err != nil {
+	sub := substrate.Config{ShardSize: *shardSize, CompactThreshold: *compactThreshold}
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -62,6 +79,7 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	cfg.WorldSeed = seed
 	cfg.Workers = workers
 	cfg.Cache = cache
+	cfg.Substrate = sub
 
 	start := time.Now()
 	env, err := bench.NewEnv(cfg)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -14,21 +15,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/kg"
 	"repro/internal/serve"
+	"repro/internal/substrate"
 )
 
 // Server exposes the answer registry over HTTP JSON. Routes:
 //
-//	GET  /healthz     liveness probe
-//	GET  /v1/methods  registered methods, models and KG sources
-//	GET  /v1/metrics  per-method serving metrics + cache/dedup stats
-//	POST /v1/answer   answer one question (X-Cache: hit|miss when caching)
-//	POST /v1/batch    answer many questions with a worker pool
+//	GET  /healthz             liveness probe
+//	GET  /v1/methods          registered methods, models and KG sources
+//	GET  /v1/metrics          per-method serving metrics + cache/dedup/substrate stats
+//	POST /v1/answer           answer one question (X-Cache: hit|miss when caching)
+//	POST /v1/batch            answer many questions with a worker pool
+//	POST /v1/ingest           add triples to a KG source's live delta
+//	POST /v1/snapshot/compact fold a source's delta into a new frozen base
 //
 // Every handler honours the request context: a disconnecting client or an
 // expiring per-request timeout cancels the in-flight pipeline run. Answers
 // flow through the environment's serving stack (metrics, answer cache,
 // singleflight), so repeated and concurrent-identical questions are served
 // without re-running the pipeline.
+//
+// Ingest and compaction swap substrate snapshots atomically: queries in
+// flight keep the snapshot they resolved, new queries see the new epoch,
+// and the answer cache's epoch-scoped keys guarantee no pre-swap answer is
+// ever served post-swap.
 type Server struct {
 	env *bench.Env
 	// timeout caps each /v1/answer run and each /v1/batch overall (0 =
@@ -38,11 +47,13 @@ type Server struct {
 	maxBatch int
 	// maxConcurrency bounds the per-batch worker pool.
 	maxConcurrency int
+	// maxIngest bounds a single /v1/ingest batch.
+	maxIngest int
 }
 
 // NewServer wraps an assembled bench environment.
 func NewServer(env *bench.Env, timeout time.Duration) *Server {
-	return &Server{env: env, timeout: timeout, maxBatch: 256, maxConcurrency: 32}
+	return &Server{env: env, timeout: timeout, maxBatch: 256, maxConcurrency: 32, maxIngest: 10000}
 }
 
 // Handler builds the route table.
@@ -53,6 +64,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/snapshot/compact", s.handleCompact)
 	return mux
 }
 
@@ -80,6 +93,7 @@ type answerResponse struct {
 	Method           string     `json:"method"`
 	Model            string     `json:"model"`
 	KG               string     `json:"kg"`
+	Epoch            uint64     `json:"epoch,omitempty"`
 	LLMCalls         int        `json:"llm_calls"`
 	PromptTokens     int        `json:"prompt_tokens"`
 	CompletionTokens int        `json:"completion_tokens"`
@@ -133,11 +147,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // metricsResponse is the /v1/metrics body.
 type metricsResponse struct {
-	Methods      []serve.MethodSnapshot `json:"methods"`
-	Cache        serve.CacheStats       `json:"cache"`
-	CacheEnabled bool                   `json:"cache_enabled"`
-	Singleflight serve.GroupStats       `json:"singleflight"`
-	EmbedMemo    core.MemoStats         `json:"embed_memo"`
+	Methods      []serve.MethodSnapshot     `json:"methods"`
+	Cache        serve.CacheStats           `json:"cache"`
+	CacheEnabled bool                       `json:"cache_enabled"`
+	Singleflight serve.GroupStats           `json:"singleflight"`
+	EmbedMemo    core.MemoStats             `json:"embed_memo"`
+	Substrates   map[string]substrate.Stats `json:"substrates"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -147,6 +162,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEnabled: s.env.Cache != nil,
 		Singleflight: s.env.DedupStats(),
 		EmbedMemo:    s.env.MemoStats(),
+		Substrates:   s.env.SubstrateStats(),
 	}
 	if resp.Methods == nil {
 		resp.Methods = []serve.MethodSnapshot{}
@@ -293,6 +309,138 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// --- live-ingest handlers ---
+
+// tripleWire is the JSON form of one ingested triple.
+type tripleWire struct {
+	Subject  string `json:"subject"`
+	Relation string `json:"relation"`
+	Object   string `json:"object"`
+	// Ord orders time-varying values of the same (subject, relation).
+	Ord int `json:"ord,omitempty"`
+}
+
+type ingestRequest struct {
+	KG      string       `json:"kg,omitempty"` // default wikidata
+	Triples []tripleWire `json:"triples"`
+}
+
+type ingestResponse struct {
+	KG           string `json:"kg"`
+	Added        int    `json:"added"`
+	Skipped      int    `json:"skipped"`
+	Epoch        uint64 `json:"epoch"`
+	BaseTriples  int    `json:"base_triples"`
+	DeltaTriples int    `json:"delta_triples"`
+}
+
+type compactRequest struct {
+	KG string `json:"kg,omitempty"` // default wikidata
+}
+
+type compactResponse struct {
+	KG           string `json:"kg"`
+	Epoch        uint64 `json:"epoch"`
+	BaseTriples  int    `json:"base_triples"`
+	DeltaTriples int    `json:"delta_triples"`
+	ElapsedMS    int64  `json:"elapsed_ms"`
+}
+
+// servableSource parses a KG-source label and rejects anything the
+// server has no substrate for ("unknown" parses but is not servable).
+// The empty label defaults to wikidata.
+func (s *Server) servableSource(source string) (kg.Source, error) {
+	src := kg.SourceWikidata
+	if source != "" {
+		var err error
+		if src, err = kg.ParseSource(source); err != nil {
+			return 0, &answer.InvalidQueryError{Reason: err.Error()}
+		}
+	}
+	if _, ok := s.env.Substrates[src]; !ok {
+		return 0, &answer.InvalidQueryError{Reason: fmt.Sprintf("no substrate for source %q (want wikidata or freebase)", source)}
+	}
+	return src, nil
+}
+
+// substrateFor resolves a KG-source label to its live substrate manager.
+func (s *Server) substrateFor(source string) (*substrate.Manager, kg.Source, error) {
+	src, err := s.servableSource(source)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.env.Substrates[src], src, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+		return
+	}
+	if len(req.Triples) == 0 {
+		writeError(w, errors.New("ingest has no triples"), answer.ClassInvalidQuery)
+		return
+	}
+	if len(req.Triples) > s.maxIngest {
+		writeError(w, fmt.Errorf("ingest of %d triples exceeds the limit of %d", len(req.Triples), s.maxIngest), answer.ClassInvalidQuery)
+		return
+	}
+	mgr, src, err := s.substrateFor(req.KG)
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	triples := make([]kg.Triple, len(req.Triples))
+	for i, t := range req.Triples {
+		triples[i] = kg.Triple{Subject: t.Subject, Relation: t.Relation, Object: t.Object, Ord: t.Ord}
+	}
+	res, err := mgr.Ingest(triples)
+	if err != nil {
+		writeError(w, err, answer.ClassInvalidQuery)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		KG:           src.String(),
+		Added:        res.Added,
+		Skipped:      res.Skipped,
+		Epoch:        res.Epoch,
+		BaseTriples:  res.BaseTriples,
+		DeltaTriples: res.DeltaTriples,
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	var req compactRequest
+	// An empty body means "compact the default source".
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+		return
+	}
+	mgr, src, err := s.substrateFor(req.KG)
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	start := time.Now()
+	snap, err := mgr.Compact(r.Context())
+	if errors.Is(err, substrate.ErrCompacting) {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error(), Class: "conflict"})
+		return
+	}
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, compactResponse{
+		KG:           src.String(),
+		Epoch:        snap.Epoch,
+		BaseTriples:  snap.BaseTriples,
+		DeltaTriples: snap.DeltaTriples,
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	})
+}
+
 // resolve maps the request's method/model/kg labels onto a bound Answerer.
 func (s *Server) resolve(method, model, source string) (answer.Answerer, string, kg.Source, error) {
 	if method == "" {
@@ -302,11 +450,9 @@ func (s *Server) resolve(method, model, source string) (answer.Answerer, string,
 	if err != nil {
 		return nil, "", 0, err
 	}
-	src := kg.SourceWikidata
-	if source != "" {
-		if src, err = kg.ParseSource(source); err != nil {
-			return nil, "", 0, &answer.InvalidQueryError{Reason: err.Error()}
-		}
+	src, err := s.servableSource(source)
+	if err != nil {
+		return nil, "", 0, err
 	}
 	ans, err := s.env.Answerer(method, modelName, src)
 	if err != nil {
@@ -334,6 +480,7 @@ func toWire(res answer.Result, src kg.Source, includeTrace bool) answerResponse 
 		Method:           res.Method,
 		Model:            res.Model,
 		KG:               src.String(),
+		Epoch:            res.Epoch,
 		LLMCalls:         res.LLMCalls,
 		PromptTokens:     res.PromptTokens,
 		CompletionTokens: res.CompletionTokens,

@@ -65,6 +65,9 @@ type Result struct {
 	// Method and Model identify what produced the answer.
 	Method string
 	Model  string
+	// Epoch is the substrate snapshot the query ran against (0 when the
+	// Answerer is bound to a static store/index rather than a Substrate).
+	Epoch uint64
 	// Elapsed is the wall-clock time of the run.
 	Elapsed time.Duration
 	// LLMCalls / PromptTokens / CompletionTokens account every model call
@@ -75,6 +78,15 @@ type Result struct {
 	// Trace carries the pipeline's intermediate artefacts for
 	// pipeline-backed methods ("ours", "ours-gp"); nil for the baselines.
 	Trace *core.Trace
+}
+
+// Clone returns a copy safe to hand to an independent caller: the trace —
+// the only mutable reference a Result carries — is deep-copied, so caches
+// and their clients can never corrupt each other through shared graphs.
+func (r Result) Clone() Result {
+	out := r
+	out.Trace = r.Trace.Clone()
+	return out
 }
 
 // Answerer is the core contract: one method, bound to its dependencies,

@@ -113,6 +113,10 @@ func Batch(ctx context.Context, ans Answerer, queries []Query, opts ...BatchOpti
 		item := items[leader]
 		item.Index = dup
 		item.Query = queries[dup]
+		// Each duplicate gets its own trace copy — sharing the leader's
+		// pointer would let one caller's mutation corrupt every folded
+		// item's result.
+		item.Result = item.Result.Clone()
 		items[dup] = item
 	}
 	return items

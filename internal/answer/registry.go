@@ -15,19 +15,34 @@ import (
 	"repro/internal/vecstore"
 )
 
+// Substrate provides versioned, consistent (store, index) snapshots — the
+// live-ingest contract implemented by internal/substrate's Manager. Each
+// Resolve call returns one immutable view plus its epoch; a method that
+// resolves once per query is guaranteed a consistent substrate for the
+// whole run, even while ingests and compactions swap the live snapshot.
+type Substrate interface {
+	Resolve() (kg.Reader, vecstore.Searcher, uint64)
+}
+
 // Deps are the substrates a method may need. Every method needs a Client;
 // the registry validates the rest per method (see Registration).
 type Deps struct {
 	// Client is the LLM backend. Required by every method.
 	Client llm.Client
-	// Store is the KG triple store (ToG exploration, pipeline gold-graph
+	// Store is the KG triple view (ToG exploration, pipeline gold-graph
 	// assembly).
-	Store *kg.Store
+	Store kg.Reader
 	// Index is the vector index over the store (RAG, pipeline semantic
 	// query).
-	Index *vecstore.Index
+	Index vecstore.Searcher
 	// Encoder embeds text consistently with the index (ToG).
 	Encoder *embed.Encoder
+	// Substrate, when set, supplies Store and Index per query from the
+	// live snapshot chain: every Answer call resolves one snapshot and
+	// runs end-to-end against it, overriding any statically-bound Store
+	// and Index above. Methods needing a store or index are satisfied by
+	// a Substrate at construction time.
+	Substrate Substrate
 }
 
 // Options collects the per-method configuration an Answerer is built with.
@@ -158,10 +173,10 @@ func New(name string, deps Deps, opts ...Option) (Answerer, error) {
 	if deps.Client == nil {
 		return nil, fmt.Errorf("answer: method %q needs an LLM client", reg.Name)
 	}
-	if reg.NeedsStore && deps.Store == nil {
+	if reg.NeedsStore && deps.Store == nil && deps.Substrate == nil {
 		return nil, fmt.Errorf("answer: method %q needs a KG store", reg.Name)
 	}
-	if reg.NeedsIndex && deps.Index == nil {
+	if reg.NeedsIndex && deps.Index == nil && deps.Substrate == nil {
 		return nil, fmt.Errorf("answer: method %q needs a vector index", reg.Name)
 	}
 	if reg.NeedsEncoder && deps.Encoder == nil {
@@ -206,6 +221,13 @@ func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 	counter := &countingClient{inner: m.deps.Client}
 	deps := m.deps
 	deps.Client = counter
+	var epoch uint64
+	if deps.Substrate != nil {
+		// One resolve per query: the whole run — retrieval, pruning,
+		// verification — sees this snapshot, no matter how many swaps
+		// happen underneath it.
+		deps.Store, deps.Index, epoch = deps.Substrate.Resolve()
+	}
 
 	start := time.Now()
 	text, trace, err := m.reg.Run(ctx, deps, m.opts, q)
@@ -216,6 +238,7 @@ func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 		Answer:           text,
 		Method:           m.reg.Name,
 		Model:            m.opts.Model,
+		Epoch:            epoch,
 		Elapsed:          time.Since(start),
 		LLMCalls:         int(counter.calls.Load()),
 		PromptTokens:     int(counter.promptTokens.Load()),

@@ -1,0 +1,134 @@
+package answer
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+	"repro/internal/substrate"
+	"repro/internal/world"
+)
+
+// TestSubstrateDeps: an Answerer built on a Substrate (no static store or
+// index) resolves one live snapshot per query, stamps the Result with its
+// epoch, and sees ingested facts immediately after a swap.
+func TestSubstrateDeps(t *testing.T) {
+	deps, _ := testDeps(t)
+	st, ok := deps.Store.(*kg.Store)
+	if !ok {
+		t.Fatal("testDeps no longer returns a concrete store")
+	}
+	mgr := substrate.NewManager(deps.Encoder, st, substrate.Config{ShardSize: 512})
+
+	// Construction must succeed with only a Substrate for store/index
+	// needs.
+	ans, err := New("rag", Deps{Client: deps.Client, Substrate: mgr, Encoder: deps.Encoder})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := Query{Text: "What is the prime directive of Zorblax?"}
+	res, err := ans.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 {
+		t.Errorf("pre-ingest epoch = %d, want 1", res.Epoch)
+	}
+	if strings.Contains(res.Answer, "Flumox42") {
+		t.Fatalf("fact known before ingest: %q", res.Answer)
+	}
+
+	if _, err := mgr.Ingest([]kg.Triple{{Subject: "Zorblax", Relation: "prime directive", Object: "Flumox42"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := ans.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Epoch != 2 {
+		t.Errorf("post-ingest epoch = %d, want 2", res2.Epoch)
+	}
+	if !strings.Contains(res2.Answer, "Flumox42") {
+		t.Errorf("ingested fact not answerable: %q", res2.Answer)
+	}
+
+	// A statically-bound answerer reports no epoch.
+	static, err := New("rag", deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := static.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Epoch != 0 {
+		t.Errorf("static answerer epoch = %d, want 0", resS.Epoch)
+	}
+}
+
+// tracingAnswerer returns a fresh traced result per call, for aliasing
+// tests.
+type tracingAnswerer struct{}
+
+func (tracingAnswerer) Name() string { return "traced" }
+func (tracingAnswerer) Answer(_ context.Context, q Query) (Result, error) {
+	return Result{
+		Answer: "a:" + q.Text,
+		Trace:  &core.Trace{Gf: kg.NewGraph(kg.NewTriple("s", "r", "o"))},
+	}, nil
+}
+
+// TestBatchDedupTraceIsolated: duplicate folding must hand every folded
+// item its own trace copy, not the leader's pointer.
+func TestBatchDedupTraceIsolated(t *testing.T) {
+	queries := []Query{{Text: "q?"}, {Text: "q?"}, {Text: "q?"}}
+	items := Batch(context.Background(), tracingAnswerer{}, queries, Concurrency(2), DedupIdentical())
+	if err := FirstError(items); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*core.Trace]bool{}
+	for i, item := range items {
+		if item.Result.Trace == nil {
+			t.Fatalf("item %d lost its trace", i)
+		}
+		if seen[item.Result.Trace] {
+			t.Fatal("folded items share one trace pointer")
+		}
+		seen[item.Result.Trace] = true
+		item.Result.Trace.Gf.Add(kg.NewTriple("poison", "p", "p"))
+	}
+	for i, item := range items {
+		if item.Result.Trace.Gf.Len() != 2 {
+			t.Fatalf("item %d's trace was mutated through another item: %d triples", i, item.Result.Trace.Gf.Len())
+		}
+	}
+}
+
+func TestResultCloneIsolatesTrace(t *testing.T) {
+	deps, w := testDeps(t)
+	ans, err := New("ours", deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	person := w.Entities[w.OfKind(world.KindPerson)[0]]
+	res, err := ans.Answer(context.Background(), Query{Text: "Where was " + person.Name + " born?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Gp == nil {
+		t.Skip("pipeline produced no trace graphs for this question")
+	}
+	cl := res.Clone()
+	if cl.Trace == res.Trace {
+		t.Fatal("Clone shares the trace pointer")
+	}
+	before := res.Trace.Gp.Len()
+	cl.Trace.Gp.Add(kg.NewTriple("poison", "p", "p"))
+	if res.Trace.Gp.Len() != before {
+		t.Error("mutating a clone's trace changed the original")
+	}
+}

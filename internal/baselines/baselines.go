@@ -134,7 +134,7 @@ func DefaultRAGConfig() RAGConfig { return RAGConfig{TopK: 5} }
 // pseudo-triples — that is the method's defining weakness on multi-hop
 // questions, where intermediate entities never appear in the question) and
 // answers from them.
-func RAG(ctx context.Context, client llm.Client, index *vecstore.Index, question string, cfg RAGConfig) (string, error) {
+func RAG(ctx context.Context, client llm.Client, index vecstore.Searcher, question string, cfg RAGConfig) (string, error) {
 	if cfg.TopK <= 0 {
 		cfg = DefaultRAGConfig()
 	}
@@ -171,7 +171,7 @@ func DefaultToGConfig() ToGConfig { return ToGConfig{Depth: 3, RelBeam: 2, Width
 // by asking the LLM to score each candidate relation against the question
 // (the original method's LLM-based pruning, and its dominant error
 // source), then answers from the explored subgraph.
-func ToG(ctx context.Context, client llm.Client, store *kg.Store, enc *embed.Encoder, question string, anchors []string, cfg ToGConfig) (string, error) {
+func ToG(ctx context.Context, client llm.Client, store kg.Reader, enc *embed.Encoder, question string, anchors []string, cfg ToGConfig) (string, error) {
 	if cfg.Depth <= 0 {
 		cfg = DefaultToGConfig()
 	}

@@ -11,6 +11,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/qa"
 	"repro/internal/serve"
+	"repro/internal/substrate"
 	"repro/internal/vecstore"
 	"repro/internal/world"
 )
@@ -58,6 +60,10 @@ type EnvConfig struct {
 	// wrapped with; Size <= 0 (the default) leaves caching off so
 	// experiment cells always measure real pipeline runs.
 	Cache serve.CacheConfig
+	// Substrate sizes the live substrate managers (vector-index shard
+	// size, auto-compaction threshold); the zero value uses the package
+	// defaults with auto-compaction off.
+	Substrate substrate.Config
 }
 
 // DefaultEnvConfig returns the paper-scale environment.
@@ -87,13 +93,22 @@ func QuickEnvConfig() EnvConfig {
 
 // Env is the assembled experiment environment.
 type Env struct {
-	Cfg     EnvConfig
-	World   *world.World
-	Suite   *datasets.Suite
-	Enc     *embed.Encoder
-	Stores  map[kg.Source]*kg.Store
-	Indexes map[kg.Source]*vecstore.Index
-	Models  map[string]*llm.SimLM
+	Cfg   EnvConfig
+	World *world.World
+	Suite *datasets.Suite
+	Enc   *embed.Encoder
+	// Stores holds the boot-time base store per source. Live state —
+	// ingested triples, compacted bases — lives in Substrates; tools that
+	// only inspect the seeded KG keep using Stores.
+	Stores map[kg.Source]*kg.Store
+	// Indexes holds each source's boot-snapshot sharded index (a
+	// consistent view of Stores). Like Stores, it does not follow ingests.
+	Indexes map[kg.Source]vecstore.Searcher
+	// Substrates owns the live snapshot chain per source: every Answerer
+	// resolves its (store, index) through these, so ingests and hot swaps
+	// are visible to serving traffic immediately.
+	Substrates map[kg.Source]*substrate.Manager
+	Models     map[string]*llm.SimLM
 
 	// Cache is the shared answer cache (nil when EnvConfig.Cache is off);
 	// Metrics collects per-method serving metrics for every request that
@@ -102,7 +117,7 @@ type Env struct {
 	Metrics *serve.Collector
 
 	pipeMu    sync.Mutex
-	pipelines map[string]*core.Pipeline
+	pipelines map[string]cachedPipeline
 
 	ansMu     sync.Mutex
 	answerers map[string]answer.Answerer
@@ -125,9 +140,12 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		kg.SourceWikidata: world.WikidataSchema().Render(w),
 		kg.SourceFreebase: world.FreebaseSchema().Render(w),
 	}
-	indexes := map[kg.Source]*vecstore.Index{}
+	substrates := map[kg.Source]*substrate.Manager{}
+	indexes := map[kg.Source]vecstore.Searcher{}
 	for src, st := range stores {
-		indexes[src] = vecstore.Build(enc, st)
+		mgr := substrate.NewManager(enc, st, cfg.Substrate)
+		substrates[src] = mgr
+		indexes[src] = mgr.Current().Index
 	}
 	models := map[string]*llm.SimLM{
 		ModelGPT35: llm.NewSim(w, llm.GPT35Params(), cfg.WorldSeed),
@@ -143,40 +161,53 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		cfg.Core.Memo = core.NewMemo(enc, 0)
 	}
 	return &Env{
-		Cfg:       cfg,
-		World:     w,
-		Suite:     suite,
-		Enc:       enc,
-		Stores:    stores,
-		Indexes:   indexes,
-		Models:    models,
-		Cache:     serve.NewCache(cfg.Cache), // nil when Size <= 0
-		Metrics:   serve.NewCollector(),
-		pipelines: map[string]*core.Pipeline{},
-		answerers: map[string]answer.Answerer{},
-		flights:   serve.NewGroup(),
+		Cfg:        cfg,
+		World:      w,
+		Suite:      suite,
+		Enc:        enc,
+		Stores:     stores,
+		Indexes:    indexes,
+		Substrates: substrates,
+		Models:     models,
+		Cache:      serve.NewCache(cfg.Cache), // nil when Size <= 0
+		Metrics:    serve.NewCollector(),
+		pipelines:  map[string]cachedPipeline{},
+		answerers:  map[string]answer.Answerer{},
+		flights:    serve.NewGroup(),
 	}, nil
 }
 
 // Pipeline returns (building on demand) the PG&AKV pipeline for a model
 // and KG source — the trace-level entry point for tools that inspect
-// intermediate artefacts (cmd/failures, the micro-benchmarks).
+// intermediate artefacts (cmd/failures, the micro-benchmarks). The
+// pipeline is bound to the substrate's current snapshot: a pipeline
+// requested after an ingest or compaction is rebuilt over the fresh view
+// (replacing the cached one, so the map stays bounded at one entry per
+// model/source) while in-flight holders keep their consistent snapshot.
 func (e *Env) Pipeline(model string, src kg.Source) (*core.Pipeline, error) {
+	mgr, ok := e.Substrates[src]
+	if !ok {
+		return nil, fmt.Errorf("bench: no substrate for source %q", src)
+	}
 	key := model + "/" + src.String()
 	e.pipeMu.Lock()
 	defer e.pipeMu.Unlock()
-	if p, ok := e.pipelines[key]; ok {
-		return p, nil
+	// Load the snapshot under pipeMu so a swap between the epoch check
+	// and the cache write cannot replace a newer cached pipeline with one
+	// built over an older snapshot.
+	snap := mgr.Current()
+	if c, ok := e.pipelines[key]; ok && c.epoch == snap.Epoch {
+		return c.pipeline, nil
 	}
 	m, ok := e.Models[model]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown model %q", model)
 	}
-	p, err := core.New(m, e.Stores[src], e.Indexes[src], e.Cfg.Core)
+	p, err := core.New(m, snap.Store, snap.Index, e.Cfg.Core)
 	if err != nil {
 		return nil, err
 	}
-	e.pipelines[key] = p
+	e.pipelines[key] = cachedPipeline{epoch: snap.Epoch, pipeline: p}
 	return p, nil
 }
 
@@ -195,19 +226,28 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown model %q", model)
 	}
+	mgr, ok := e.Substrates[src]
+	if !ok {
+		// Guard before the Deps assignment: a nil *substrate.Manager in
+		// the Substrate interface field would be non-nil to the registry's
+		// validation and panic at first Resolve.
+		return nil, fmt.Errorf("bench: no substrate for source %q", src)
+	}
 	a, err := answer.New(method, answer.Deps{
-		Client:  m,
-		Store:   e.Stores[src],
-		Index:   e.Indexes[src],
-		Encoder: e.Enc,
+		Client:    m,
+		Substrate: mgr,
+		Encoder:   e.Enc,
 	}, answer.WithCoreConfig(e.Cfg.Core), answer.WithModelLabel(model))
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
 	// The cache and singleflight group are shared across every answerer
-	// this environment hands out; the (model, source) scope keeps
-	// identical questions against different substrates from colliding.
-	scope := model + "/" + src.String()
+	// this environment hands out; the (model, source, epoch) scope keeps
+	// identical questions against different substrates from colliding and
+	// makes every hot swap an implicit cache invalidation — entries keyed
+	// under an older epoch can never be served again.
+	prefix := model + "/" + src.String() + "@"
+	scope := func() string { return prefix + strconv.FormatUint(mgr.Epoch(), 10) }
 	mws := []serve.Middleware{serve.WithMetrics(e.Metrics)}
 	if e.Cache != nil {
 		mws = append(mws, serve.WithCache(e.Cache, scope), serve.WithSingleflight(e.flights, scope))
@@ -215,6 +255,22 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 	a = serve.Stack(a, mws...)
 	e.answerers[key] = a
 	return a, nil
+}
+
+// SubstrateStats reports each source's live substrate summary.
+func (e *Env) SubstrateStats() map[string]substrate.Stats {
+	out := make(map[string]substrate.Stats, len(e.Substrates))
+	for src, mgr := range e.Substrates {
+		out[src.String()] = mgr.Stats()
+	}
+	return out
+}
+
+// cachedPipeline is one Pipeline entry pinned to the snapshot epoch it
+// was built over.
+type cachedPipeline struct {
+	epoch    uint64
+	pipeline *core.Pipeline
 }
 
 // DedupStats reports the environment's singleflight counters.

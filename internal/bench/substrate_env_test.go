@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// quickEnv is a tiny shared environment for substrate plumbing tests.
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	cfg := QuickEnvConfig()
+	cfg.Data.SimpleN = 4
+	cfg.Data.QALDN = 4
+	cfg.Data.NatureN = 2
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestUnknownSourceIsErrorNotPanic: a source with no substrate must fail
+// with an error from both Answerer and Pipeline — a nil *Manager stored
+// into the Substrate interface field would pass the registry's nil check
+// and panic at first Resolve instead.
+func TestUnknownSourceIsErrorNotPanic(t *testing.T) {
+	env := quickEnv(t)
+	if _, err := env.Answerer(MethodOurs, ModelGPT35, kg.SourceUnknown); err == nil {
+		t.Error("Answerer accepted a source with no substrate")
+	}
+	if _, err := env.Pipeline(ModelGPT35, kg.SourceUnknown); err == nil {
+		t.Error("Pipeline accepted a source with no substrate")
+	}
+}
+
+// TestPipelineCacheFollowsEpoch: Env.Pipeline hands back the cached
+// pipeline while the snapshot is unchanged, rebuilds it after a swap, and
+// keeps the map bounded at one entry per (model, source).
+func TestPipelineCacheFollowsEpoch(t *testing.T) {
+	env := quickEnv(t)
+	p1, err := env.Pipeline(ModelGPT35, kg.SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := env.Pipeline(ModelGPT35, kg.SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same epoch should reuse the cached pipeline")
+	}
+
+	if _, err := env.Substrates[kg.SourceWikidata].Ingest([]kg.Triple{
+		{Subject: "Zorblax", Relation: "prime directive", Object: "Flumox"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := env.Pipeline(ModelGPT35, kg.SourceWikidata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("epoch bump should rebuild the pipeline over the new snapshot")
+	}
+	env.pipeMu.Lock()
+	n := len(env.pipelines)
+	env.pipeMu.Unlock()
+	if n != 1 {
+		t.Errorf("pipeline cache holds %d entries, want 1 (old epochs must be replaced)", n)
+	}
+}

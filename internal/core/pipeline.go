@@ -24,6 +24,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -106,12 +107,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// Pipeline wires an LLM, a KG store and its vector index into the PG&AKV
-// flow. Construct with New; safe for concurrent use.
+// Pipeline wires an LLM, a KG substrate view and its vector index into the
+// PG&AKV flow. Construct with New; safe for concurrent use. Store and
+// index are read through their interfaces, so a pipeline can run against a
+// plain frozen store or against one immutable snapshot of a live substrate
+// (internal/substrate) — either way every step of one run sees the same
+// consistent view.
 type Pipeline struct {
 	client llm.Client
-	store  *kg.Store
-	index  *vecstore.Index
+	store  kg.Reader
+	index  vecstore.Searcher
 	cfg    Config
 	// memo caches pseudo-triple embeddings across questions so repeated
 	// surfaces (shared anchors, bench reruns) are encoded once per session.
@@ -120,7 +125,7 @@ type Pipeline struct {
 
 // New builds a pipeline. The index must have been built over the store
 // with the same encoder.
-func New(client llm.Client, store *kg.Store, index *vecstore.Index, cfg Config) (*Pipeline, error) {
+func New(client llm.Client, store kg.Reader, index vecstore.Searcher, cfg Config) (*Pipeline, error) {
 	if client == nil {
 		return nil, fmt.Errorf("core: nil LLM client")
 	}
@@ -178,6 +183,30 @@ type Trace struct {
 	VerifyRaw  string
 	AnswerRaw  string
 	LLMCalls   int
+}
+
+// Clone returns a deep copy of the trace: the graphs and every slice field
+// are duplicated, so a caller mutating the clone (or the original) cannot
+// corrupt the other. Serving-layer caches rely on this to hand each caller
+// an isolated trace. A nil trace clones to nil.
+func (tr *Trace) Clone() *Trace {
+	if tr == nil {
+		return nil
+	}
+	out := *tr
+	out.Gp = tr.Gp.Clone()
+	out.Gg = tr.Gg.Clone()
+	out.Gf = tr.Gf.Clone()
+	if tr.Gt != nil {
+		out.Gt = append([]vecstore.Hit(nil), tr.Gt...)
+	}
+	if tr.Candidates != nil {
+		out.Candidates = append([]SubjectConfidence(nil), tr.Candidates...)
+	}
+	if tr.Kept != nil {
+		out.Kept = append([]SubjectConfidence(nil), tr.Kept...)
+	}
+	return &out
 }
 
 // Result is the pipeline's output for one question.
@@ -376,6 +405,11 @@ func (p *Pipeline) QueryAndPrune(gp *kg.Graph, tr *Trace) *kg.Graph {
 			maxMean = m
 		}
 	}
+	// A maxMean of 0 means no subject had a positive mean cosine (zero
+	// vectors, fully disjoint vocabularies): every confidence calibrates
+	// to exactly 0 — never NaN from the 0/0 division, see calibrate — so
+	// two-step pruning drops all the unsupported candidates and the
+	// pipeline degrades to verifying against an empty gold graph.
 	kept := make([]SubjectConfidence, 0, len(subjects))
 	for _, s := range subjects {
 		a := bySubject[s]
@@ -561,9 +595,13 @@ func shuffleSubjects(kept []SubjectConfidence) {
 }
 
 // calibrate maps a raw mean cosine into the relative confidence scale the
-// paper's 0.7 threshold is applied to (see QueryAndPrune).
+// paper's 0.7 threshold is applied to (see QueryAndPrune). Degenerate
+// inputs — non-positive means or a zero maxMean denominator — calibrate to
+// 0 instead of dividing through to NaN/Inf. NaN needs its own check: every
+// comparison against NaN is false, so `mean <= 0` alone would let it
+// through the guard.
 func calibrate(mean, maxMean float64) float64 {
-	if mean <= 0 || maxMean <= 0 {
+	if math.IsNaN(mean) || math.IsNaN(maxMean) || mean <= 0 || maxMean <= 0 {
 		return 0
 	}
 	c := mean / maxMean

@@ -1,0 +1,117 @@
+package kg
+
+import (
+	"testing"
+)
+
+// aliasingStore builds a store whose posting lists have more than one
+// entry, so a buggy accessor that returned internal slices would be
+// corruptible by callers.
+func aliasingStore(t *testing.T) *Store {
+	t.Helper()
+	st := NewStore(SourceWikidata)
+	st.AddAll([]Triple{
+		{Subject: "A", Relation: "r1", Object: "x", Ord: 0},
+		{Subject: "A", Relation: "r1", Object: "y", Ord: 1},
+		{Subject: "A", Relation: "r2", Object: "z"},
+		{Subject: "B", Relation: "r1", Object: "x"},
+	})
+	st.Freeze()
+	return st
+}
+
+// TestAccessorsReturnCopies proves the anti-aliasing contract of kg.Reader:
+// appending to or mutating a returned slice must never change what the
+// store returns next.
+func TestAccessorsReturnCopies(t *testing.T) {
+	st := aliasingStore(t)
+
+	cases := []struct {
+		name string
+		get  func() []Triple
+	}{
+		{"Subject", func() []Triple { return st.Subject("A") }},
+		{"Relation", func() []Triple { return st.Relation("r1") }},
+		{"Object", func() []Triple { return st.Object("x") }},
+		{"SubjectRelation", func() []Triple { return st.SubjectRelation("A", "r1") }},
+		{"RelationObject", func() []Triple { return st.RelationObject("r1", "x") }},
+		{"All", func() []Triple { return st.All() }},
+		{"Neighbours", func() []Triple { return st.Neighbours("A") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := tc.get()
+			if len(before) == 0 {
+				t.Fatalf("%s returned nothing", tc.name)
+			}
+			// Mutate every element and append a poison triple.
+			mutated := tc.get()
+			for i := range mutated {
+				mutated[i].Subject = "CORRUPTED"
+				mutated[i].Object = "CORRUPTED"
+			}
+			_ = append(mutated, Triple{Subject: "POISON", Relation: "p", Object: "p"})
+
+			after := tc.get()
+			if len(after) != len(before) {
+				t.Fatalf("%s length changed after caller mutation: %d -> %d", tc.name, len(before), len(after))
+			}
+			for i := range after {
+				if !after[i].Equal(before[i]) {
+					t.Errorf("%s[%d] changed after caller mutation: %v -> %v", tc.name, i, before[i], after[i])
+				}
+			}
+		})
+	}
+
+	// String-slice accessors must be caller-owned too.
+	subjects := st.Subjects()
+	subjects[0] = "CORRUPTED"
+	if st.Subjects()[0] == "CORRUPTED" {
+		t.Error("Subjects returned an internal slice")
+	}
+	rels := st.Relations()
+	rels[0] = "CORRUPTED"
+	if st.Relations()[0] == "CORRUPTED" {
+		t.Error("Relations returned an internal slice")
+	}
+	objs := st.Objects()
+	objs[0] = "CORRUPTED"
+	if st.Objects()[0] == "CORRUPTED" {
+		t.Error("Objects returned an internal slice")
+	}
+}
+
+func TestContains(t *testing.T) {
+	st := aliasingStore(t)
+	if !st.Contains(Triple{Subject: "A", Relation: "r1", Object: "x"}) {
+		t.Error("Contains missed a stored triple")
+	}
+	// Source, Ord and ID are ignored in the comparison.
+	if !st.Contains(Triple{Subject: "A", Relation: "r1", Object: "x", Source: SourceFreebase, Ord: 9, ID: 42}) {
+		t.Error("Contains must ignore Source/Ord/ID")
+	}
+	if st.Contains(Triple{Subject: "A", Relation: "r1", Object: "nope"}) {
+		t.Error("Contains invented a triple")
+	}
+}
+
+func TestObjectsSorted(t *testing.T) {
+	st := aliasingStore(t)
+	objs := st.Objects()
+	if len(objs) != 3 {
+		t.Fatalf("Objects = %v, want 3 distinct", objs)
+	}
+	for i := 1; i < len(objs); i++ {
+		if objs[i-1] >= objs[i] {
+			t.Fatalf("Objects not sorted: %v", objs)
+		}
+	}
+}
+
+func TestGraphCloneNil(t *testing.T) {
+	var g *Graph
+	if g.Clone() != nil {
+		t.Error("nil graph must clone to nil")
+	}
+}

@@ -1,0 +1,51 @@
+package kg
+
+// Reader is the read-only surface of a triple substrate. *Store implements
+// it directly; composite views (the substrate manager's base+delta union)
+// implement it over several stores so the pipeline and the baselines can
+// run against any consistent snapshot without knowing how it is assembled.
+//
+// Implementations must be safe for concurrent readers and must return
+// slices the caller owns: appending to or mutating a returned slice never
+// affects the underlying substrate.
+type Reader interface {
+	// Source identifies the KG schema the triples are rendered in.
+	Source() Source
+	// Len returns the number of triples in the view.
+	Len() int
+	// Get returns the triple with the given ID.
+	Get(id int) (Triple, bool)
+	// All returns every triple in insertion order.
+	All() []Triple
+	// Contains reports whether the view holds a triple with t's surface
+	// form (Source, Ord and ID are ignored).
+	Contains(t Triple) bool
+	// Subject returns all triples whose subject matches exactly.
+	Subject(s string) []Triple
+	// Relation returns all triples with the given relation.
+	Relation(r string) []Triple
+	// Object returns all triples whose object matches exactly.
+	Object(o string) []Triple
+	// SubjectRelation returns the (subject, relation) triples in Ord order.
+	SubjectRelation(s, r string) []Triple
+	// RelationObject is the reverse lookup used by exploration baselines.
+	RelationObject(r, o string) []Triple
+	// HasSubject reports whether any triple has the given subject.
+	HasSubject(s string) bool
+	// Subjects returns all distinct subjects, sorted.
+	Subjects() []string
+	// Relations returns all distinct relations, sorted.
+	Relations() []string
+	// Objects returns all distinct objects, sorted.
+	Objects() []string
+	// Neighbours returns the one-hop neighbourhood of s.
+	Neighbours(s string) []Triple
+	// SubjectGraph returns a Graph holding the given subjects' triples.
+	SubjectGraph(subjects []string) *Graph
+	// FindSubjectFold resolves a case-folded subject to its canonical form.
+	FindSubjectFold(q string) (string, bool)
+	// Stats summarises the view for diagnostics.
+	Stats() Stats
+}
+
+var _ Reader = (*Store)(nil)

@@ -141,6 +141,15 @@ func (st *Store) take(ids []int) []Triple {
 	return out
 }
 
+// Contains reports whether the store holds a triple with t's surface form
+// (Source, Ord and ID are ignored).
+func (st *Store) Contains(t Triple) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.byKey[t.Key()]
+	return ok
+}
+
 // Subject returns all triples whose subject matches exactly.
 func (st *Store) Subject(s string) []Triple {
 	st.mu.RLock()
@@ -204,6 +213,18 @@ func (st *Store) Relations() []string {
 	out := make([]string, 0, len(st.byRelation))
 	for r := range st.byRelation {
 		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objects returns all distinct objects, sorted.
+func (st *Store) Objects() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.byObject))
+	for o := range st.byObject {
+		out = append(out, o)
 	}
 	sort.Strings(out)
 	return out

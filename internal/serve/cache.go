@@ -57,7 +57,9 @@ func NewCache(cfg CacheConfig) *Cache {
 	}
 }
 
-// Get returns the cached result for key, if present and unexpired.
+// Get returns the cached result for key, if present and unexpired. The
+// result is an isolated copy: mutating its trace cannot corrupt the cached
+// entry, and two hitters of the same key cannot corrupt each other.
 func (c *Cache) Get(key string) (answer.Result, bool) {
 	if c == nil {
 		return answer.Result{}, false
@@ -82,15 +84,18 @@ func (c *Cache) Get(key string) (answer.Result, bool) {
 	res := e.result
 	c.mu.Unlock()
 	c.hits.Add(1)
-	return res, true
+	return res.Clone(), true
 }
 
 // Put stores a result under key, evicting the least recently used entry
-// when full. Re-putting an existing key refreshes its value and TTL.
+// when full. Re-putting an existing key refreshes its value and TTL. The
+// cache keeps its own copy, so the producer remains free to hand the
+// original (trace included) to its caller.
 func (c *Cache) Put(key string, res answer.Result) {
 	if c == nil {
 		return
 	}
+	res = res.Clone()
 	var expires time.Time
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,27 +159,29 @@ func (c *Cache) Stats() CacheStats {
 // results are stored; errors always pass through uncached. Hits report
 // the lookup's elapsed time and zero LLM usage (the cost belongs to the
 // run that filled the entry). A nil cache yields a no-op middleware.
-// scope namespaces this answerer's entries within a shared cache — pass
-// the substrate binding (e.g. "model/kg") when one Cache serves
-// answerers over different backends.
-func WithCache(c *Cache, scope string) Middleware {
+// scope namespaces this answerer's entries within a shared cache,
+// re-evaluated on every request — pass the substrate binding including
+// the live epoch (e.g. "model/kg@epoch") when one Cache serves answerers
+// over different or hot-swappable backends; a nil scope is the empty
+// namespace.
+func WithCache(c *Cache, scope ScopeFunc) Middleware {
 	return func(inner answer.Answerer) answer.Answerer {
 		if c == nil {
 			return inner
 		}
-		return &cachedAnswerer{named: named{inner}, cache: c, scope: scope}
+		return &cachedAnswerer{named: named{inner}, cache: c, scope: scopeOrEmpty(scope)}
 	}
 }
 
 type cachedAnswerer struct {
 	named
 	cache *Cache
-	scope string
+	scope ScopeFunc
 }
 
 func (a *cachedAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
 	start := time.Now()
-	k := key(a.inner, a.scope, q)
+	k := key(a.inner, a.scope(), q)
 	info := infoFrom(ctx)
 	if info != nil {
 		info.CacheUsed = true

@@ -72,7 +72,7 @@ func TestCacheTTLExpiry(t *testing.T) {
 func TestCacheMiddlewareHitAndMiss(t *testing.T) {
 	stub := &stubAnswerer{name: "stub"}
 	cache := NewCache(CacheConfig{Size: 8})
-	stack := Stack(stub, WithCache(cache, ""))
+	stack := Stack(stub, WithCache(cache, nil))
 	q := answer.Query{Text: "Where was X born?"}
 
 	ctx, info := Attach(context.Background())
@@ -124,7 +124,7 @@ func TestCacheMiddlewareHitAndMiss(t *testing.T) {
 func TestCacheMiddlewareDoesNotCacheErrors(t *testing.T) {
 	stub := &stubAnswerer{name: "stub", err: errors.New("boom")}
 	cache := NewCache(CacheConfig{Size: 8})
-	stack := Stack(stub, WithCache(cache, ""))
+	stack := Stack(stub, WithCache(cache, nil))
 	q := answer.Query{Text: "q?"}
 	for i := 0; i < 3; i++ {
 		if _, err := stack.Answer(context.Background(), q); err == nil {
@@ -187,7 +187,7 @@ func TestQueryKeySeparatorInjection(t *testing.T) {
 // double-count otherwise.
 func TestCacheHitZeroesUsage(t *testing.T) {
 	stub := &stubAnswerer{name: "stub", delay: 5 * time.Millisecond}
-	stack := Stack(stub, WithCache(NewCache(CacheConfig{Size: 4}), ""))
+	stack := Stack(stub, WithCache(NewCache(CacheConfig{Size: 4}), nil))
 	q := answer.Query{Text: "q?"}
 
 	cold, err := stack.Answer(context.Background(), q)

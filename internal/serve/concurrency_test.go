@@ -55,7 +55,7 @@ func TestFullStackConcurrentHammer(t *testing.T) {
 	collector := NewCollector()
 	cache := NewCache(CacheConfig{Size: 16})
 	group := NewGroup()
-	stack := Stack(stub, WithMetrics(collector), WithCache(cache, ""), WithSingleflight(group, ""))
+	stack := Stack(stub, WithMetrics(collector), WithCache(cache, nil), WithSingleflight(group, nil))
 
 	const goroutines = 32
 	const iters = 200

@@ -83,7 +83,7 @@ func TestMetricsMiddlewareAttributesCost(t *testing.T) {
 	stub := &stubAnswerer{name: "stub"}
 	collector := NewCollector()
 	cache := NewCache(CacheConfig{Size: 4})
-	stack := Stack(stub, WithMetrics(collector), WithCache(cache, ""))
+	stack := Stack(stub, WithMetrics(collector), WithCache(cache, nil))
 	q := answer.Query{Text: "q?"}
 
 	for i := 0; i < 3; i++ {

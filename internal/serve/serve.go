@@ -67,13 +67,31 @@ type named struct{ inner answer.Answerer }
 
 func (n named) Name() string { return n.inner.Name() }
 
+// ScopeFunc names the namespace a request's cache/singleflight key lives
+// in, evaluated per request. Scopes carry everything the query itself
+// cannot express — callers sharing one Cache or Group across answerers
+// bound to different substrates (KG source, model binding) MUST use a
+// distinct scope per binding or identical questions will collide across
+// them. Dynamic components belong here too: folding the substrate epoch
+// into the scope makes a hot swap invalidate every prior entry at once,
+// because post-swap lookups key into a namespace no stale answer was ever
+// written to.
+type ScopeFunc func() string
+
+// StaticScope returns a ScopeFunc for a fixed namespace.
+func StaticScope(s string) ScopeFunc { return func() string { return s } }
+
+// scopeOrEmpty normalises a nil ScopeFunc to the empty namespace.
+func scopeOrEmpty(scope ScopeFunc) ScopeFunc {
+	if scope == nil {
+		return StaticScope("")
+	}
+	return scope
+}
+
 // key computes the cache/singleflight identity for a query against the
 // wrapped method. The query's own labels win so per-request model routing
-// stays distinct; the bound method name is the fallback. scope namespaces
-// everything the query itself cannot express — callers sharing one Cache
-// or Group across answerers bound to different substrates (KG source,
-// model binding) MUST pass a distinct scope per binding or identical
-// questions will collide across them.
+// stays distinct; the bound method name is the fallback.
 func key(ans answer.Answerer, scope string, q answer.Query) string {
 	method := q.Method
 	if method == "" {

@@ -83,7 +83,7 @@ func (a answerFunc) Answer(ctx context.Context, q answer.Query) (answer.Result, 
 
 func TestStackSkipsNilMiddleware(t *testing.T) {
 	stub := &stubAnswerer{name: "stub"}
-	stack := Stack(stub, WithCache(nil, ""), WithSingleflight(nil, ""), WithMetrics(nil), nil)
+	stack := Stack(stub, WithCache(nil, nil), WithSingleflight(nil, nil), WithMetrics(nil), nil)
 	if stack != answer.Answerer(stub) {
 		t.Fatal("nil middlewares should leave the answerer untouched")
 	}

@@ -106,35 +106,40 @@ func isContextErr(err error) bool {
 
 // WithSingleflight dedups concurrent identical queries onto one
 // underlying run. A nil group yields a no-op middleware. scope plays the
-// same role as in WithCache: it keeps identical questions against
-// different substrate bindings from coalescing onto one run.
-func WithSingleflight(g *Group, scope string) Middleware {
+// same role as in WithCache (nil meaning the empty namespace): it keeps
+// identical questions against different substrate bindings — or different
+// epochs of the same one — from coalescing onto one run.
+func WithSingleflight(g *Group, scope ScopeFunc) Middleware {
 	return func(inner answer.Answerer) answer.Answerer {
 		if g == nil {
 			return inner
 		}
-		return &dedupAnswerer{named: named{inner}, group: g, scope: scope}
+		return &dedupAnswerer{named: named{inner}, group: g, scope: scopeOrEmpty(scope)}
 	}
 }
 
 type dedupAnswerer struct {
 	named
 	group *Group
-	scope string
+	scope ScopeFunc
 }
 
 func (a *dedupAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
 	start := time.Now()
-	res, shared, err := a.group.Do(ctx, key(a.inner, a.scope, q), func() (answer.Result, error) {
+	res, shared, err := a.group.Do(ctx, key(a.inner, a.scope(), q), func() (answer.Result, error) {
 		return a.inner.Answer(ctx, q)
 	})
 	if shared {
 		if info := infoFrom(ctx); info != nil {
 			info.Shared = true
 		}
-		// Mirror the cache middleware: the upstream cost belongs to the
-		// leader's response alone, and the follower's elapsed time is how
-		// long it actually waited.
+		// Mirror the cache middleware on both counts: the upstream cost
+		// belongs to the leader's response alone, the follower's elapsed
+		// time is how long it actually waited, and the result is an
+		// isolated copy — the leader and every follower would otherwise
+		// share one Trace pointer, so any of them mutating it would
+		// corrupt the others.
+		res = res.Clone()
 		res.Elapsed = time.Since(start)
 		res.LLMCalls = 0
 		res.PromptTokens = 0

@@ -24,7 +24,7 @@ func TestSingleflightCoalesces(t *testing.T) {
 			return inner.Answer(ctx, q)
 		}}
 	}
-	stack := Stack(stub, counting, WithSingleflight(group, ""))
+	stack := Stack(stub, counting, WithSingleflight(group, nil))
 	q := answer.Query{Text: "Where was X born?"}
 
 	var wg sync.WaitGroup
@@ -71,7 +71,7 @@ func TestSingleflightCoalesces(t *testing.T) {
 
 func TestSingleflightDistinctKeysRunIndependently(t *testing.T) {
 	stub := &stubAnswerer{name: "stub"}
-	stack := Stack(stub, WithSingleflight(NewGroup(), ""))
+	stack := Stack(stub, WithSingleflight(NewGroup(), nil))
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
@@ -95,7 +95,7 @@ func TestSingleflightDistinctKeysRunIndependently(t *testing.T) {
 func TestSingleflightFollowerSurvivesLeaderCancel(t *testing.T) {
 	stub := &stubAnswerer{name: "stub", block: make(chan struct{})}
 	group := NewGroup()
-	stack := Stack(stub, WithSingleflight(group, ""))
+	stack := Stack(stub, WithSingleflight(group, nil))
 	q := answer.Query{Text: "q?"}
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -132,7 +132,7 @@ func TestSingleflightFollowerSurvivesLeaderCancel(t *testing.T) {
 
 func TestSingleflightFollowerOwnCancel(t *testing.T) {
 	stub := &stubAnswerer{name: "stub", block: make(chan struct{})}
-	stack := Stack(stub, WithSingleflight(NewGroup(), ""))
+	stack := Stack(stub, WithSingleflight(NewGroup(), nil))
 	q := answer.Query{Text: "q?"}
 
 	go stack.Answer(context.Background(), q) //nolint:errcheck — released below
@@ -173,7 +173,7 @@ func (p *panickyAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Re
 // the key works again afterwards.
 func TestSingleflightLeaderPanicDoesNotPoisonKey(t *testing.T) {
 	ans := &panickyAnswerer{stub: stubAnswerer{name: "panicky"}}
-	stack := Stack(ans, WithSingleflight(NewGroup(), ""))
+	stack := Stack(ans, WithSingleflight(NewGroup(), nil))
 	q := answer.Query{Text: "q?"}
 
 	func() {

@@ -1,0 +1,369 @@
+// Package substrate manages live, versioned knowledge substrates: the
+// (kg store, vector index) pair every QA method runs against, made
+// updatable under serving traffic without a restart.
+//
+// The design is snapshot-based. A Manager owns:
+//
+//   - a frozen base store, vector-indexed as fixed-size shards that are
+//     searched concurrently (vecstore.Sharded);
+//   - an unfrozen delta store that accumulates ingested triples, with a
+//     small delta index rebuilt per ingest batch;
+//   - the current Snapshot: an immutable (epoch, kg.Reader,
+//     vecstore.Searcher) triple published with an atomic pointer swap.
+//
+// Readers resolve the current snapshot once per query and keep it for the
+// whole run, so a query served mid-ingest sees one consistent substrate
+// end-to-end. Writers (Ingest, Compact) build the next snapshot off to the
+// side and swap it in; the epoch increments on every swap, which serving
+// layers fold into cache-key scopes so a swap implicitly invalidates every
+// answer computed against an older substrate.
+//
+// Compaction folds the delta into a new frozen base — re-sharding the
+// index — and resets the delta. It runs concurrently with ingest: only the
+// final swap takes the writer lock, and triples ingested during the build
+// survive as the new delta.
+package substrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/vecstore"
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// ShardSize is the segment size of the base's sharded vector index;
+	// <= 0 uses vecstore.DefaultShardSize.
+	ShardSize int
+	// CompactThreshold starts a background compaction when an ingest
+	// leaves the delta at or above this many triples; 0 disables
+	// auto-compaction (Compact can still be called explicitly).
+	CompactThreshold int
+}
+
+// Snapshot is one immutable substrate version. Store and Index never
+// change after publication; a caller holding a Snapshot can serve any
+// number of queries against a consistent view.
+type Snapshot struct {
+	// Epoch increments on every swap. Serving layers scope cache keys by
+	// it so answers from older substrates are never served after a swap.
+	Epoch uint64
+	// Store is the consistent triple view (base, or base ∪ delta copy).
+	Store kg.Reader
+	// Index is the sharded vector index over exactly Store's triples.
+	Index vecstore.Searcher
+	// BaseTriples / DeltaTriples split Store.Len() by origin.
+	BaseTriples  int
+	DeltaTriples int
+}
+
+// ErrCompacting reports that a compaction is already running.
+var ErrCompacting = errors.New("substrate: compaction already in progress")
+
+// Manager owns the snapshot chain for one KG source. Safe for concurrent
+// use: any number of readers (Current/Resolve) proceed lock-free while
+// writers serialise on an internal mutex.
+type Manager struct {
+	enc *embed.Encoder
+	cfg Config
+
+	cur atomic.Pointer[Snapshot]
+
+	mu         sync.Mutex // guards the master state below
+	base       *kg.Store  // frozen
+	baseShards []*vecstore.Index
+	delta      *kg.Store // unfrozen, accumulating
+	// deltaSegs are the delta's index segments, one per ingest batch
+	// (coalesced when they proliferate), so each publish encodes only the
+	// newly added triples instead of the whole accumulated delta.
+	deltaSegs  []*vecstore.Index
+	epoch      uint64
+	compacting bool
+
+	ingests     atomic.Int64
+	compactions atomic.Int64
+}
+
+// NewManager builds a manager over a base store, sharding its vector
+// index. The store is frozen if it is not already; the manager owns it
+// from here on.
+func NewManager(enc *embed.Encoder, base *kg.Store, cfg Config) *Manager {
+	base.Freeze()
+	m := &Manager{
+		enc:        enc,
+		cfg:        cfg,
+		base:       base,
+		baseShards: vecstore.BuildShards(enc, base.All(), cfg.ShardSize),
+		delta:      kg.NewStore(base.Source()),
+		epoch:      0,
+	}
+	m.mu.Lock()
+	m.publishLocked()
+	m.mu.Unlock()
+	return m
+}
+
+// Current returns the live snapshot. The result is immutable; hold it for
+// as long as a consistent view is needed.
+func (m *Manager) Current() *Snapshot { return m.cur.Load() }
+
+// Resolve returns the live snapshot's components — the answer.Substrate
+// contract: one call per query pins that query to one consistent view.
+func (m *Manager) Resolve() (kg.Reader, vecstore.Searcher, uint64) {
+	s := m.cur.Load()
+	return s.Store, s.Index, s.Epoch
+}
+
+// Epoch returns the live snapshot's epoch.
+func (m *Manager) Epoch() uint64 { return m.cur.Load().Epoch }
+
+// Source returns the managed KG source.
+func (m *Manager) Source() kg.Source { return m.cur.Load().Store.Source() }
+
+// IngestResult reports what one Ingest call did.
+type IngestResult struct {
+	// Added is how many triples were new; Skipped counts duplicates of
+	// base or delta facts.
+	Added   int
+	Skipped int
+	// Epoch is the snapshot epoch after the call (unchanged when nothing
+	// was added).
+	Epoch uint64
+	// BaseTriples / DeltaTriples describe the post-call snapshot.
+	BaseTriples  int
+	DeltaTriples int
+}
+
+// Ingest adds triples to the delta store and, if anything was new,
+// publishes a fresh snapshot whose index covers them. Triples already
+// present (in base or delta) are skipped, so ingestion is idempotent.
+// Structurally empty triples are rejected.
+//
+// A triple with Ord 0 whose (subject, relation) already holds facts is
+// treated as the *newest* value of a time-varying fact: its ordinal is
+// assigned past the largest existing one, so "ingest the updated
+// population" makes the new value current instead of sorting as the
+// oldest. Pass an explicit non-zero Ord to place a value in history.
+//
+// When the delta reaches Config.CompactThreshold, a background
+// compaction starts automatically.
+func (m *Manager) Ingest(triples []kg.Triple) (IngestResult, error) {
+	for i, t := range triples {
+		if t.Subject == "" || t.Relation == "" || t.Object == "" {
+			return IngestResult{}, fmt.Errorf("substrate: triple %d is missing a field: %v", i, t)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	added, skipped := 0, 0
+	var fresh []kg.Triple
+	for _, t := range triples {
+		if m.base.Contains(t) {
+			skipped++
+			continue
+		}
+		if t.Ord == 0 {
+			if max, ok := m.maxOrdLocked(t.Subject, t.Relation); ok {
+				t.Ord = max + 1
+			}
+		}
+		id, ok := m.delta.Add(t)
+		if !ok {
+			skipped++
+			continue
+		}
+		added++
+		// Record the stored form under the union's combined ID space for
+		// this batch's index segment.
+		stored, _ := m.delta.Get(id)
+		stored.ID = m.base.Len() + id
+		fresh = append(fresh, stored)
+	}
+	var snap *Snapshot
+	if added > 0 {
+		m.ingests.Add(1)
+		m.deltaSegs = append(m.deltaSegs, vecstore.BuildTriples(m.enc, fresh))
+		m.coalesceDeltaSegsLocked()
+		snap = m.publishLocked()
+		if m.cfg.CompactThreshold > 0 && m.delta.Len() >= m.cfg.CompactThreshold {
+			go func() {
+				// Best-effort: a compaction already running will pick the
+				// new triples up on the next trigger.
+				_, _ = m.Compact(context.Background())
+			}()
+		}
+	} else {
+		snap = m.cur.Load()
+	}
+	return IngestResult{
+		Added:        added,
+		Skipped:      skipped,
+		Epoch:        snap.Epoch,
+		BaseTriples:  snap.BaseTriples,
+		DeltaTriples: snap.DeltaTriples,
+	}, nil
+}
+
+// maxOrdLocked returns the largest ordinal stored for (subject, relation)
+// across base and delta, and whether the pair holds any facts at all.
+// Caller holds m.mu.
+func (m *Manager) maxOrdLocked(subject, relation string) (int, bool) {
+	max, found := 0, false
+	for _, t := range m.base.SubjectRelation(subject, relation) {
+		if !found || t.Ord > max {
+			max, found = t.Ord, true
+		}
+	}
+	for _, t := range m.delta.SubjectRelation(subject, relation) {
+		if !found || t.Ord > max {
+			max, found = t.Ord, true
+		}
+	}
+	return max, found
+}
+
+// coalesceDeltaSegsLocked folds the per-batch delta segments into one
+// once they proliferate: many tiny ingests would otherwise leave the
+// snapshot index fanning out over hundreds of near-empty segments. The
+// re-encode of the whole delta is amortised across maxDeltaSegs batches,
+// and compaction resets everything anyway. Caller holds m.mu.
+func (m *Manager) coalesceDeltaSegsLocked() {
+	const maxDeltaSegs = 16
+	if len(m.deltaSegs) < maxDeltaSegs {
+		return
+	}
+	m.deltaSegs = []*vecstore.Index{vecstore.BuildTriples(m.enc, m.deltaTriplesLocked())}
+}
+
+// deltaTriplesLocked returns the delta's triples remapped into the
+// union's combined ID space. Caller holds m.mu.
+func (m *Manager) deltaTriplesLocked() []kg.Triple {
+	out := m.delta.All()
+	for i := range out {
+		out[i].ID = m.base.Len() + i
+	}
+	return out
+}
+
+// publishLocked builds and swaps in a snapshot of the current master
+// state. Caller holds m.mu. The delta is copied into a fresh frozen
+// store and composed with the per-batch delta index segments, so publish
+// cost is proportional to the latest batch, not the substrate (store
+// copy aside, which is map inserts, not encoding).
+func (m *Manager) publishLocked() *Snapshot {
+	m.epoch++
+	var store kg.Reader = m.base
+	shards := m.baseShards
+	if m.delta.Len() > 0 {
+		snapDelta := kg.NewStore(m.base.Source())
+		snapDelta.AddAll(m.delta.All())
+		snapDelta.Freeze()
+		store = newUnion(m.base, snapDelta)
+		shards = append(append([]*vecstore.Index(nil), m.baseShards...), m.deltaSegs...)
+	}
+	snap := &Snapshot{
+		Epoch:        m.epoch,
+		Store:        store,
+		Index:        vecstore.Compose(m.enc, shards...),
+		BaseTriples:  m.base.Len(),
+		DeltaTriples: m.delta.Len(),
+	}
+	m.cur.Store(snap)
+	return snap
+}
+
+// Compact folds the delta into a new frozen, re-sharded base and publishes
+// the result. The expensive part — re-encoding the merged triple set —
+// runs outside the writer lock, so ingest stays live during compaction;
+// triples ingested while the build runs carry over into the new delta.
+// Returns ErrCompacting if another compaction is in flight. A compaction
+// of an empty delta is a no-op returning the current snapshot.
+func (m *Manager) Compact(ctx context.Context) (*Snapshot, error) {
+	m.mu.Lock()
+	if m.compacting {
+		m.mu.Unlock()
+		return nil, ErrCompacting
+	}
+	if m.delta.Len() == 0 {
+		snap := m.cur.Load()
+		m.mu.Unlock()
+		return snap, nil
+	}
+	m.compacting = true
+	baseAll := m.base.All()
+	deltaPrefix := m.delta.All()
+	src := m.base.Source()
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.compacting = false
+		m.mu.Unlock()
+	}()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	newBase := kg.NewStore(src)
+	newBase.AddAll(baseAll)
+	newBase.AddAll(deltaPrefix)
+	newBase.Freeze()
+	newShards := vecstore.BuildShards(m.enc, newBase.All(), m.cfg.ShardSize)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Whatever arrived during the build becomes the new delta. Delta IDs
+	// are assigned in insertion order, so the compacted prefix is exactly
+	// the first len(deltaPrefix) triples.
+	tail := m.delta.All()[len(deltaPrefix):]
+	newDelta := kg.NewStore(src)
+	newDelta.AddAll(tail)
+	m.base = newBase
+	m.baseShards = newShards
+	m.delta = newDelta
+	m.deltaSegs = nil
+	if newDelta.Len() > 0 {
+		// Re-segment the carried-over triples against the new base's ID
+		// space.
+		m.deltaSegs = []*vecstore.Index{vecstore.BuildTriples(m.enc, m.deltaTriplesLocked())}
+	}
+	m.compactions.Add(1)
+	return m.publishLocked(), nil
+}
+
+// Stats is a point-in-time summary of the manager.
+type Stats struct {
+	Epoch        uint64 `json:"epoch"`
+	BaseTriples  int    `json:"base_triples"`
+	DeltaTriples int    `json:"delta_triples"`
+	Shards       int    `json:"shards"`
+	Ingests      int64  `json:"ingests"`
+	Compactions  int64  `json:"compactions"`
+}
+
+// Stats summarises the live snapshot and the writer counters.
+func (m *Manager) Stats() Stats {
+	snap := m.cur.Load()
+	return Stats{
+		Epoch:        snap.Epoch,
+		BaseTriples:  snap.BaseTriples,
+		DeltaTriples: snap.DeltaTriples,
+		Shards:       snap.Index.Stats().Shards,
+		Ingests:      m.ingests.Load(),
+		Compactions:  m.compactions.Load(),
+	}
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("substrate: epoch %d, %d base + %d delta triples, %d shards, %d ingests, %d compactions",
+		s.Epoch, s.BaseTriples, s.DeltaTriples, s.Shards, s.Ingests, s.Compactions)
+}

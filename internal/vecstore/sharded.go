@@ -1,0 +1,207 @@
+package vecstore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+)
+
+// DefaultShardSize is the segment size BuildSharded uses when none is
+// given. Segments of a few thousand vectors keep each per-shard scan well
+// inside cache while leaving enough shards to occupy every core.
+const DefaultShardSize = 4096
+
+// Sharded is a segmented vector index: the triple set is split into
+// fixed-size segments, each its own immutable Index, and every search fans
+// out across the segments concurrently with a top-k merge by score. On
+// KG-scale stores the parallel scan is the difference between one core and
+// all of them (see BenchmarkShardedVsSingleSearch).
+//
+// Sharded is also the hot-swap substrate's composition point: Compose
+// assembles a view over already-built segments, so an ingest can publish
+// {base segments + fresh delta segment} without re-encoding the base.
+type Sharded struct {
+	enc    *embed.Encoder
+	shards []*Index
+	total  int
+}
+
+// BuildSharded encodes the triples into fixed-size segments. A
+// non-positive shardSize uses DefaultShardSize. The builder takes
+// ownership of the slice.
+func BuildSharded(enc *embed.Encoder, triples []kg.Triple, shardSize int) *Sharded {
+	return Compose(enc, BuildShards(enc, triples, shardSize)...)
+}
+
+// BuildShards encodes the triples into fixed-size segment indexes without
+// composing them — the hook for callers (the substrate manager) that keep
+// the segments around to recompose with a delta segment later. A
+// non-positive shardSize uses DefaultShardSize.
+func BuildShards(enc *embed.Encoder, triples []kg.Triple, shardSize int) []*Index {
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	var shards []*Index
+	for lo := 0; lo < len(triples); lo += shardSize {
+		hi := lo + shardSize
+		if hi > len(triples) {
+			hi = len(triples)
+		}
+		shards = append(shards, BuildTriples(enc, triples[lo:hi]))
+	}
+	return shards
+}
+
+// Compose assembles a sharded view over existing segment indexes. Empty
+// segments are dropped. Every segment must have been built with enc.
+func Compose(enc *embed.Encoder, shards ...*Index) *Sharded {
+	s := &Sharded{enc: enc}
+	for _, sh := range shards {
+		if sh == nil || sh.Len() == 0 {
+			continue
+		}
+		s.shards = append(s.shards, sh)
+		s.total += sh.Len()
+	}
+	return s
+}
+
+// Len returns the number of indexed triples across all segments.
+func (s *Sharded) Len() int { return s.total }
+
+// Shards returns the number of non-empty segments.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Encoder returns the encoder the segments were built with.
+func (s *Sharded) Encoder() *embed.Encoder { return s.enc }
+
+// Search returns the top-k triples most similar to the query text, merged
+// across all segments by score.
+func (s *Sharded) Search(query string, k int) []Hit {
+	return s.SearchPreEncoded(query, s.enc.Encode(query), k)
+}
+
+// SearchExact is the brute-force reference: an exact scan of every segment.
+func (s *Sharded) SearchExact(query string, k int) []Hit {
+	return s.SearchVector(s.enc.Encode(query), k)
+}
+
+// SearchVector searches all segments with a pre-encoded vector.
+func (s *Sharded) SearchVector(qv embed.Vector, k int) []Hit {
+	return s.fanOut(k, func(sh *Index) []Hit { return sh.SearchVector(qv, k) })
+}
+
+// SearchPreEncoded is Search with the query's embedding supplied; each
+// segment keeps its token-filtered candidate path.
+func (s *Sharded) SearchPreEncoded(query string, qv embed.Vector, k int) []Hit {
+	return s.fanOut(k, func(sh *Index) []Hit { return sh.SearchPreEncoded(query, qv, k) })
+}
+
+// searchPreEncodedSequential is SearchPreEncoded without the worker pool,
+// used by batchSearch where queries are already parallelised.
+func (s *Sharded) searchPreEncodedSequential(query string, qv embed.Vector, k int) []Hit {
+	if k <= 0 || len(s.shards) == 0 {
+		return nil
+	}
+	per := make([][]Hit, len(s.shards))
+	for i, sh := range s.shards {
+		per[i] = sh.SearchPreEncoded(query, qv, k)
+	}
+	return mergeHits(per, k)
+}
+
+// BatchSearch runs Search for each query concurrently.
+func (s *Sharded) BatchSearch(queries []string, k int) [][]Hit {
+	return batchSearch(s, s.enc.Encode, queries, k)
+}
+
+// BatchSearchWith is BatchSearch with caller-supplied embeddings.
+func (s *Sharded) BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]Hit {
+	return batchSearch(s, encode, queries, k)
+}
+
+// fanOut runs search on every segment and merges the per-segment top-k
+// lists into the global top-k. Each segment returns its own correct
+// top-k, so the merge of all of them contains the global winners. The
+// scan is spread over a worker pool sized by the machine's parallelism:
+// one worker per schedulable thread, capped at the shard count, falling
+// back to a plain sequential loop on single-core boxes where goroutine
+// hand-offs would only add overhead.
+func (s *Sharded) fanOut(k int, search func(*Index) []Hit) []Hit {
+	if k <= 0 || len(s.shards) == 0 {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return search(s.shards[0])
+	}
+	per := make([][]Hit, len(s.shards))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 {
+		for i, sh := range s.shards {
+			per[i] = search(sh)
+		}
+		return mergeHits(per, k)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				per[i] = search(s.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return mergeHits(per, k)
+}
+
+// mergeHits flattens per-segment result lists and keeps the global top-k,
+// with the same deterministic (score desc, surface-form asc) order the
+// single-segment scan produces.
+func mergeHits(per [][]Hit, k int) []Hit {
+	n := 0
+	for _, hits := range per {
+		n += len(hits)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Hit, 0, n)
+	for _, hits := range per {
+		out = append(out, hits...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Triple.Key() < out[j].Triple.Key()
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Stats aggregates segment statistics.
+func (s *Sharded) Stats() Stats {
+	st := Stats{Dim: embed.Dim, Shards: len(s.shards), Triples: s.total}
+	for _, sh := range s.shards {
+		st.Tokens += sh.Stats().Tokens
+	}
+	return st
+}
+
+var _ Searcher = (*Sharded)(nil)

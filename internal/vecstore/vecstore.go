@@ -17,6 +17,7 @@ package vecstore
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -29,6 +30,33 @@ type Hit struct {
 	Triple kg.Triple
 	Score  float64
 }
+
+// Searcher is the query surface shared by the single-segment Index and the
+// Sharded composite, and what the pipeline and serving layers program
+// against: any consistent snapshot of a vector substrate, however it is
+// assembled. Implementations are safe for concurrent searches.
+type Searcher interface {
+	// Len returns the number of indexed triples.
+	Len() int
+	// Encoder returns the encoder queries must be embedded with.
+	Encoder() *embed.Encoder
+	// Search returns the top-k triples most similar to the query text.
+	Search(query string, k int) []Hit
+	// SearchExact is the brute-force correctness reference for Search.
+	SearchExact(query string, k int) []Hit
+	// SearchVector searches with a pre-encoded vector over all triples.
+	SearchVector(qv embed.Vector, k int) []Hit
+	// SearchPreEncoded is Search with the query's embedding supplied.
+	SearchPreEncoded(query string, qv embed.Vector, k int) []Hit
+	// BatchSearch runs Search for each query concurrently.
+	BatchSearch(queries []string, k int) [][]Hit
+	// BatchSearchWith is BatchSearch with caller-supplied embeddings.
+	BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]Hit
+	// Stats describes the index for diagnostics.
+	Stats() Stats
+}
+
+var _ Searcher = (*Index)(nil)
 
 // Index is an immutable vector index over a triple store. Build it with
 // Build; it is safe for concurrent searches afterwards.
@@ -219,35 +247,66 @@ func (idx *Index) BatchSearch(queries []string, k int) [][]Hit {
 // memoise embeddings (internal/core's session memo). encode must be safe
 // for concurrent use and consistent with the index's encoder.
 func (idx *Index) BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]Hit {
+	return batchSearch(idx, encode, queries, k)
+}
+
+// preEncodedSearcher is the minimal surface batchSearch fans out over.
+type preEncodedSearcher interface {
+	SearchPreEncoded(query string, qv embed.Vector, k int) []Hit
+}
+
+// batchSearch runs per-query searches concurrently, bounded by the
+// machine's parallelism: the searches are CPU-bound scans, so more
+// goroutines than schedulable threads only adds contention, and fewer
+// leaves large boxes idle. A searcher that also offers a sequential scan
+// (Sharded) is searched shard-sequentially per query — the outer pool
+// already saturates the cores, so nesting a per-shard fan-out inside it
+// would multiply the goroutine count without adding throughput.
+func batchSearch(s preEncodedSearcher, encode func(string) embed.Vector, queries []string, k int) [][]Hit {
+	search := s.SearchPreEncoded
+	if seq, ok := s.(sequentialSearcher); ok {
+		search = seq.searchPreEncodedSequential
+	}
 	out := make([][]Hit, len(queries))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, q := range queries {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, q string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = idx.SearchPreEncoded(q, encode(q), k)
+			out[i] = search(q, encode(q), k)
 		}(i, q)
 	}
 	wg.Wait()
 	return out
 }
 
+// sequentialSearcher marks searchers with a no-internal-concurrency scan
+// for use inside an already-parallel batch.
+type sequentialSearcher interface {
+	searchPreEncodedSequential(query string, qv embed.Vector, k int) []Hit
+}
+
 // Stats describes an index for diagnostics.
 type Stats struct {
-	Triples int
-	Tokens  int
-	Dim     int
+	Triples int `json:"triples"`
+	Tokens  int `json:"tokens"`
+	Dim     int `json:"dim"`
+	// Shards is the number of fixed-size segments (1 for a plain Index).
+	Shards int `json:"shards"`
 }
 
 // Stats returns index statistics.
 func (idx *Index) Stats() Stats {
-	return Stats{Triples: len(idx.triples), Tokens: len(idx.inverted), Dim: embed.Dim}
+	return Stats{Triples: len(idx.triples), Tokens: len(idx.inverted), Dim: embed.Dim, Shards: 1}
 }
 
 // String renders the stats.
 func (s Stats) String() string {
+	if s.Shards > 1 {
+		return fmt.Sprintf("vecstore: %d triples, %d tokens, dim=%d, %d shards", s.Triples, s.Tokens, s.Dim, s.Shards)
+	}
 	return fmt.Sprintf("vecstore: %d triples, %d tokens, dim=%d", s.Triples, s.Tokens, s.Dim)
 }
