@@ -8,6 +8,7 @@
 //	pgakvd [-addr :8080] [-quick] [-seed 42] [-workers 8] [-timeout 30s]
 //	       [-cache-size 4096] [-cache-ttl 5m]
 //	       [-shard-size 4096] [-compact-threshold 0]
+//	       [-llm-concurrency 32] [-stage-timeout 0]
 //
 // Endpoints:
 //
@@ -23,6 +24,15 @@
 // LRU+TTL answer cache (disable with -cache-size 0; /v1/answer reports
 // X-Cache: hit|miss) and singleflight dedup, so N concurrent identical
 // questions cost one pipeline run.
+//
+// Staged execution: every method runs as a composition of exec stages;
+// answer traces and /v1/metrics expose per-stage latency, LLM usage and
+// error classes, and -stage-timeout bounds each stage individually. LLM
+// calls flow through the shared scheduler (-llm-concurrency): bounded
+// concurrency with interactive /v1/answer traffic admitted ahead of
+// queued batch work. Per-request token budgets ("token_budget") are
+// enforced by the answer registry independently of the scheduler, so
+// they hold even with -llm-concurrency 0.
 //
 // Live ingest: each KG source is a versioned substrate — a sharded,
 // concurrently-searched vector index over a frozen base plus a delta of
@@ -61,17 +71,19 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = no expiry)")
 	shardSize := flag.Int("shard-size", 0, "vector-index segment size (0 = vecstore default)")
 	compactThreshold := flag.Int("compact-threshold", 2048, "auto-compact when a delta reaches this many triples (0 = manual only; the default bounds per-ingest publish cost)")
+	llmConcurrency := flag.Int("llm-concurrency", 32, "max in-flight LLM calls across all traffic; interactive /v1/answer requests preempt queued batch work when saturated (0 = unbounded)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage deadline inside every method run (0 = only the request timeout applies)")
 	flag.Parse()
 
 	cache := serve.CacheConfig{Size: *cacheSize, TTL: *cacheTTL}
 	sub := substrate.Config{ShardSize: *shardSize, CompactThreshold: *compactThreshold}
-	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub); err != nil {
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -80,6 +92,8 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	cfg.Workers = workers
 	cfg.Cache = cache
 	cfg.Substrate = sub
+	cfg.LLMConcurrency = llmConcurrency
+	cfg.Core.StageTimeout = stageTimeout
 
 	start := time.Now()
 	env, err := bench.NewEnv(cfg)

@@ -13,7 +13,9 @@ import (
 	"repro/internal/answer"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/core/exec"
 	"repro/internal/kg"
+	"repro/internal/llm"
 	"repro/internal/serve"
 	"repro/internal/substrate"
 )
@@ -32,7 +34,10 @@ import (
 // expiring per-request timeout cancels the in-flight pipeline run. Answers
 // flow through the environment's serving stack (metrics, answer cache,
 // singleflight), so repeated and concurrent-identical questions are served
-// without re-running the pipeline.
+// without re-running the pipeline. /v1/answer runs on the LLM scheduler's
+// interactive lane, /v1/batch on the batch lane; batch items get per-item
+// deadlines derived from the batch deadline so one slow item cannot starve
+// the rest. Oversized POST bodies are refused with 413.
 //
 // Ingest and compaction swap substrate snapshots atomically: queries in
 // flight keep the snapshot they resolved, new queries see the new epoch,
@@ -40,8 +45,8 @@ import (
 // ever served post-swap.
 type Server struct {
 	env *bench.Env
-	// timeout caps each /v1/answer run and each /v1/batch overall (0 =
-	// unbounded).
+	// timeout caps each /v1/answer run and is the batch deadline per-item
+	// deadlines are derived from (0 = unbounded).
 	timeout time.Duration
 	// maxBatch bounds /v1/batch size.
 	maxBatch int
@@ -49,11 +54,14 @@ type Server struct {
 	maxConcurrency int
 	// maxIngest bounds a single /v1/ingest batch.
 	maxIngest int
+	// maxBody bounds every POST body; oversized requests get 413 before
+	// the decoder buffers them.
+	maxBody int64
 }
 
 // NewServer wraps an assembled bench environment.
 func NewServer(env *bench.Env, timeout time.Duration) *Server {
-	return &Server{env: env, timeout: timeout, maxBatch: 256, maxConcurrency: 32, maxIngest: 10000}
+	return &Server{env: env, timeout: timeout, maxBatch: 256, maxConcurrency: 32, maxIngest: 10000, maxBody: maxBodyBytes}
 }
 
 // Handler builds the route table.
@@ -86,6 +94,9 @@ type answerRequest struct {
 	KG           string `json:"kg,omitempty"`     // wikidata|freebase
 	IncludeTrace bool   `json:"include_trace,omitempty"`
 	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+	// TokenBudget caps the total LLM tokens this request may spend; the
+	// scheduler refuses calls past it (HTTP 429, class "budget").
+	TokenBudget int `json:"token_budget,omitempty"`
 }
 
 type answerResponse struct {
@@ -102,19 +113,35 @@ type answerResponse struct {
 }
 
 type traceWire struct {
-	Gp           []string `json:"gp,omitempty"`
-	Gg           []string `json:"gg,omitempty"`
-	Gf           []string `json:"gf,omitempty"`
-	KeptSubjects []string `json:"kept_subjects,omitempty"`
-	PseudoError  string   `json:"pseudo_error,omitempty"`
+	Gp           []string    `json:"gp,omitempty"`
+	Gg           []string    `json:"gg,omitempty"`
+	Gf           []string    `json:"gf,omitempty"`
+	KeptSubjects []string    `json:"kept_subjects,omitempty"`
+	PseudoError  string      `json:"pseudo_error,omitempty"`
+	Stages       []stageWire `json:"stages,omitempty"`
+}
+
+// stageWire is one stage span in an answer trace.
+type stageWire struct {
+	Stage            string  `json:"stage"`
+	LatencyMS        float64 `json:"latency_ms"`
+	LLMCalls         int     `json:"llm_calls"`
+	PromptTokens     int     `json:"prompt_tokens,omitempty"`
+	CompletionTokens int     `json:"completion_tokens,omitempty"`
+	InputSize        int     `json:"input_size"`
+	OutputSize       int     `json:"output_size"`
+	Error            string  `json:"error,omitempty"`
 }
 
 type batchRequest struct {
-	Method      string      `json:"method,omitempty"`
-	Model       string      `json:"model,omitempty"`
-	KG          string      `json:"kg,omitempty"`
-	Concurrency int         `json:"concurrency,omitempty"`
-	Queries     []queryItem `json:"queries"`
+	Method      string `json:"method,omitempty"`
+	Model       string `json:"model,omitempty"`
+	KG          string `json:"kg,omitempty"`
+	Concurrency int    `json:"concurrency,omitempty"`
+	// TimeoutMS tightens the batch deadline per-item deadlines are derived
+	// from (never past the operator's cap).
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Queries   []queryItem `json:"queries"`
 }
 
 type batchItemResponse struct {
@@ -137,6 +164,10 @@ type batchResponse struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	Class string `json:"class"`
+	// Stages carries the failed run's partial stage spans (the last one
+	// names the failing stage and its error class) when the request asked
+	// for a trace.
+	Stages []stageWire `json:"stages,omitempty"`
 }
 
 // --- handlers ---
@@ -153,16 +184,22 @@ type metricsResponse struct {
 	Singleflight serve.GroupStats           `json:"singleflight"`
 	EmbedMemo    core.MemoStats             `json:"embed_memo"`
 	Substrates   map[string]substrate.Stats `json:"substrates"`
+	// Scheduler reports the shared LLM admission controller: lane depths,
+	// wait times, budget refusals (zeros when -llm-concurrency is 0).
+	Scheduler        llm.SchedulerStats `json:"scheduler"`
+	SchedulerEnabled bool               `json:"scheduler_enabled"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := metricsResponse{
-		Methods:      s.env.Metrics.Snapshot(),
-		Cache:        s.env.Cache.Stats(),
-		CacheEnabled: s.env.Cache != nil,
-		Singleflight: s.env.DedupStats(),
-		EmbedMemo:    s.env.MemoStats(),
-		Substrates:   s.env.SubstrateStats(),
+		Methods:          s.env.Metrics.Snapshot(),
+		Cache:            s.env.Cache.Stats(),
+		CacheEnabled:     s.env.Cache != nil,
+		Singleflight:     s.env.DedupStats(),
+		EmbedMemo:        s.env.MemoStats(),
+		Substrates:       s.env.SubstrateStats(),
+		Scheduler:        s.env.SchedulerStats(),
+		SchedulerEnabled: s.env.Scheduler != nil,
 	}
 	if resp.Methods == nil {
 		resp.Methods = []serve.MethodSnapshot{}
@@ -190,10 +227,30 @@ func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 // maxBodyBytes bounds request bodies before JSON decoding.
 const maxBodyBytes = 8 << 20
 
+// decodeBody reads a POST body capped at s.maxBody into v, writing the
+// error response itself on failure: 413 when the cap was exceeded (the
+// reader stops before buffering an oversized body), 400 otherwise.
+// allowEmpty treats an empty body as a decoded zero value.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(v)
+	if err == nil || (allowEmpty && errors.Is(err, io.EOF)) {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit),
+			Class: "too-large",
+		})
+		return false
+	}
+	writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+	return false
+}
+
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	var req answerRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+	if !s.decodeBody(w, r, &req, false) {
 		return
 	}
 	ans, model, src, err := s.resolve(req.Method, req.Model, req.KG)
@@ -202,7 +259,10 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := r.Context()
+	// Interactive lane: a user is waiting on this response, so when the
+	// LLM scheduler saturates this request is admitted ahead of queued
+	// batch/bench work.
+	ctx := llm.WithPriority(r.Context(), llm.PriorityInteractive)
 	timeout := s.timeout
 	if req.TimeoutMS > 0 {
 		// A client may tighten the deadline but never loosen it past the
@@ -218,16 +278,25 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	ctx, info := serve.Attach(ctx)
-	res, err := ans.Answer(ctx, answer.Query{
+	q := answer.Query{
 		Text:    req.Question,
 		Method:  ans.Name(),
 		Model:   model,
 		Open:    req.Open,
 		Anchors: req.Anchors,
-	})
+	}
+	if req.TokenBudget > 0 {
+		q.Overrides.TokenBudget = &req.TokenBudget
+	}
+	ctx, info := serve.Attach(ctx)
+	res, err := ans.Answer(ctx, q)
 	if err != nil {
-		writeError(w, err, answer.Classify(err))
+		resp := errorResponse{Error: err.Error(), Class: string(answer.Classify(err))}
+		if req.IncludeTrace && res.Trace != nil {
+			// The partial spans name the failing stage and its error class.
+			resp.Stages = stageWires(res.Trace.Stages)
+		}
+		writeJSON(w, statusFor(answer.Classify(err)), resp)
 		return
 	}
 	if info.CacheUsed {
@@ -242,8 +311,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+	if !s.decodeBody(w, r, &req, false) {
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -267,11 +335,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = s.maxConcurrency
 	}
 
-	ctx := r.Context()
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
+	// Batch lane: bulk work yields the LLM scheduler to interactive
+	// traffic when the concurrency limit saturates.
+	ctx := llm.WithPriority(r.Context(), llm.PriorityBatch)
+	batchDeadline := s.timeout
+	if req.TimeoutMS > 0 {
+		requested := time.Duration(req.TimeoutMS) * time.Millisecond
+		if batchDeadline == 0 || requested < batchDeadline {
+			batchDeadline = requested
+		}
+	}
+	// Per-item deadlines derive from the batch deadline: every item gets
+	// the deadline as its own clock, started when its worker picks it up —
+	// the same per-request semantics /v1/answer has. A single slow item
+	// times out alone (its entry reports class "deadline") instead of one
+	// shared batch timer expiring and failing every item queued behind it,
+	// and an item is never killed early just because the batch was large.
+	// Total batch wall-clock stays bounded at ceil(N/workers) deadlines.
+	opts := []answer.BatchOption{answer.Concurrency(workers)}
+	if batchDeadline > 0 {
+		opts = append(opts, answer.ItemTimeout(batchDeadline))
 	}
 
 	queries := make([]answer.Query, len(req.Queries))
@@ -285,7 +368,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	items := answer.Batch(ctx, ans, queries, answer.Concurrency(workers))
+	items := answer.Batch(ctx, ans, queries, opts...)
 
 	resp := batchResponse{
 		Method:    ans.Name(),
@@ -374,8 +457,7 @@ func (s *Server) substrateFor(source string) (*substrate.Manager, kg.Source, err
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+	if !s.decodeBody(w, r, &req, false) {
 		return
 	}
 	if len(req.Triples) == 0 {
@@ -413,8 +495,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	var req compactRequest
 	// An empty body means "compact the default source".
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, fmt.Errorf("decoding request: %w", err), answer.ClassInvalidQuery)
+	if !s.decodeBody(w, r, &req, true) {
 		return
 	}
 	mgr, src, err := s.substrateFor(req.KG)
@@ -509,7 +590,26 @@ func toWire(res answer.Result, src kg.Source, includeTrace bool) answerResponse 
 		if res.Trace.PseudoErr != nil {
 			tw.PseudoError = res.Trace.PseudoErr.Error()
 		}
+		tw.Stages = stageWires(res.Trace.Stages)
 		out.Trace = tw
+	}
+	return out
+}
+
+// stageWires converts exec spans to their wire form.
+func stageWires(spans []exec.Span) []stageWire {
+	out := make([]stageWire, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, stageWire{
+			Stage:            sp.Stage,
+			LatencyMS:        float64(sp.Latency) / float64(time.Millisecond),
+			LLMCalls:         sp.LLMCalls,
+			PromptTokens:     sp.PromptTokens,
+			CompletionTokens: sp.CompletionTokens,
+			InputSize:        sp.InputSize,
+			OutputSize:       sp.OutputSize,
+			Error:            sp.Err,
+		})
 	}
 	return out
 }
@@ -519,6 +619,9 @@ func statusFor(class answer.ErrorClass) int {
 	switch class {
 	case answer.ClassUnknownMethod, answer.ClassInvalidQuery:
 		return http.StatusBadRequest
+	case answer.ClassBudget:
+		// The request's own token budget ran out mid-run.
+		return http.StatusTooManyRequests
 	case answer.ClassDeadline:
 		return http.StatusGatewayTimeout
 	case answer.ClassCanceled:

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/llm"
 )
 
 // Query is one question for an Answerer, with optional per-request
@@ -56,6 +57,10 @@ type Overrides struct {
 	TopK *int
 	// Samples overrides the Self-Consistency sample count.
 	Samples *int
+	// TokenBudget caps the total tokens (prompt + completion) the query's
+	// LLM calls may spend; the shared scheduler refuses calls past it with
+	// a ClassBudget error. nil or <= 0 means unlimited.
+	TokenBudget *int
 }
 
 // Result is the uniform outcome of one answered query.
@@ -75,8 +80,11 @@ type Result struct {
 	LLMCalls         int
 	PromptTokens     int
 	CompletionTokens int
-	// Trace carries the pipeline's intermediate artefacts for
-	// pipeline-backed methods ("ours", "ours-gp"); nil for the baselines.
+	// Trace carries the run's intermediate artefacts and per-stage spans.
+	// Pipeline-backed methods ("ours", "ours-gp") fill the full graph
+	// trace; baseline methods carry their stage spans. On a failed run the
+	// partial trace (spans up to and including the failing stage) is still
+	// returned alongside the error.
 	Trace *core.Trace
 }
 
@@ -117,6 +125,8 @@ const (
 	ClassInvalidQuery ErrorClass = "invalid-query"
 	// ClassUpstream: the LLM client or a pipeline stage failed.
 	ClassUpstream ErrorClass = "upstream"
+	// ClassBudget: the query's token budget was exhausted mid-run.
+	ClassBudget ErrorClass = "budget"
 )
 
 // UnknownMethodError reports a name the registry does not know.
@@ -146,6 +156,8 @@ func Classify(err error) ErrorClass {
 		return ClassCanceled
 	case errors.Is(err, context.DeadlineExceeded):
 		return ClassDeadline
+	case errors.Is(err, llm.ErrBudgetExhausted):
+		return ClassBudget
 	}
 	var unknown *UnknownMethodError
 	if errors.As(err, &unknown) {

@@ -133,10 +133,26 @@ func TestAllMethodsAnswer(t *testing.T) {
 		if res.LLMCalls < 1 || res.PromptTokens < 1 {
 			t.Errorf("%s: usage accounting empty: %+v", name, res)
 		}
-		hasTrace := res.Trace != nil
-		wantTrace := name == "ours" || name == "ours-gp"
-		if hasTrace != wantTrace {
-			t.Errorf("%s: trace presence = %v, want %v", name, hasTrace, wantTrace)
+		if res.Trace == nil {
+			t.Errorf("%s: nil trace, want stage spans", name)
+			continue
+		}
+		if len(res.Trace.Stages) == 0 {
+			t.Errorf("%s: trace has no stage spans", name)
+		}
+		var spanCalls int
+		for _, sp := range res.Trace.Stages {
+			if sp.Err != "" {
+				t.Errorf("%s: stage %s carries error class %q", name, sp.Stage, sp.Err)
+			}
+			spanCalls += sp.LLMCalls
+		}
+		if spanCalls != res.LLMCalls {
+			t.Errorf("%s: stage spans account %d LLM calls, result says %d", name, spanCalls, res.LLMCalls)
+		}
+		// Pipeline-backed methods additionally carry the graph artefacts.
+		if name == "ours" && res.Trace.Gg == nil {
+			t.Errorf("%s: trace missing gold graph", name)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // BatchItem is one query's outcome inside a batch. Failures are isolated
@@ -23,8 +24,9 @@ type BatchItem struct {
 
 // batchOptions configure Batch.
 type batchOptions struct {
-	workers int
-	dedup   bool
+	workers     int
+	dedup       bool
+	itemTimeout time.Duration
 }
 
 // BatchOption mutates batch execution settings.
@@ -34,6 +36,14 @@ type BatchOption func(*batchOptions)
 // the batch size).
 func Concurrency(n int) BatchOption {
 	return func(o *batchOptions) { o.workers = n }
+}
+
+// ItemTimeout bounds each item's run individually: the item's clock
+// starts when its worker picks it up, so one slow item times out alone
+// (its entry reports ClassDeadline) instead of a shared batch deadline
+// expiring and failing every item still in flight behind it.
+func ItemTimeout(d time.Duration) BatchOption {
+	return func(o *batchOptions) { o.itemTimeout = d }
 }
 
 // DedupIdentical folds queries with the same DedupKey onto one
@@ -97,7 +107,12 @@ func Batch(ctx context.Context, ans Answerer, queries []Query, opts ...BatchOpti
 				if err := ctx.Err(); err != nil {
 					item.Err = err
 				} else {
-					item.Result, item.Err = ans.Answer(ctx, queries[i])
+					itemCtx, cancel := ctx, context.CancelFunc(func() {})
+					if o.itemTimeout > 0 {
+						itemCtx, cancel = context.WithTimeout(ctx, o.itemTimeout)
+					}
+					item.Result, item.Err = ans.Answer(itemCtx, queries[i])
+					cancel()
 				}
 				item.Class = Classify(item.Err)
 				items[i] = item

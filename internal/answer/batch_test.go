@@ -185,3 +185,64 @@ func TestBatchWithoutDedupRunsEverything(t *testing.T) {
 		t.Fatalf("runs = %d, want 3 (dedup must be opt-in)", got)
 	}
 }
+
+// slowOnceAnswerer sleeps only for queries containing "slow"; everything
+// else returns immediately.
+type slowOnceAnswerer struct {
+	slowDelay time.Duration
+}
+
+func (s *slowOnceAnswerer) Name() string { return "slow-once" }
+
+func (s *slowOnceAnswerer) Answer(ctx context.Context, q Query) (Result, error) {
+	if strings.Contains(q.Text, "slow") {
+		select {
+		case <-time.After(s.slowDelay):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	return Result{Answer: "echo: " + q.Text, Method: s.Name()}, nil
+}
+
+// TestBatchItemTimeoutIsolatesSlowItem is the deadline-starvation fix: a
+// per-item timeout makes only the slow item fail with ClassDeadline while
+// every other item completes, where a shared batch deadline would have
+// failed everything queued behind the slow one.
+func TestBatchItemTimeoutIsolatesSlowItem(t *testing.T) {
+	ans := &slowOnceAnswerer{slowDelay: 5 * time.Second}
+	queries := []Query{
+		{Text: "q0"}, {Text: "q1 slow"}, {Text: "q2"}, {Text: "q3"}, {Text: "q4"},
+	}
+	start := time.Now()
+	items := Batch(context.Background(), ans, queries,
+		Concurrency(2), ItemTimeout(50*time.Millisecond))
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("batch took %v; the slow item starved the pool", elapsed)
+	}
+	for i, item := range items {
+		if strings.Contains(item.Query.Text, "slow") {
+			if item.Class != ClassDeadline {
+				t.Errorf("slow item class = %q, want deadline", item.Class)
+			}
+			continue
+		}
+		if item.Err != nil {
+			t.Errorf("item %d (%q) failed: %v — per-item deadlines must isolate the slow item", i, item.Query.Text, item.Err)
+		}
+	}
+}
+
+// TestBatchItemTimeoutClockStartsAtPickup: items queued behind busy
+// workers must not have their deadline burn down while waiting.
+func TestBatchItemTimeoutClockStartsAtPickup(t *testing.T) {
+	// One worker, every item takes 30ms, item timeout 50ms: a shared
+	// deadline would expire during item 3; per-item clocks never do.
+	ans := &stubAnswerer{delay: 30 * time.Millisecond}
+	queries := []Query{{Text: "q0"}, {Text: "q1"}, {Text: "q2"}, {Text: "q3"}, {Text: "q4"}}
+	items := Batch(context.Background(), ans, queries,
+		Concurrency(1), ItemTimeout(50*time.Millisecond))
+	if err := FirstError(items); err != nil {
+		t.Fatalf("late items timed out under a per-item clock: %v", err)
+	}
+}

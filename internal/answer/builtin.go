@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/core/exec"
+	"repro/internal/llm"
 )
 
 // Config aliases keep the answer API self-contained: callers configure
@@ -41,8 +43,38 @@ func coreConfig(o Options, q Query) core.Config {
 	return cfg
 }
 
+// stageBuilder constructs a baseline composition from the validated deps.
+type stageBuilder func(d Deps, o Options, q Query, client llm.Client) []exec.Stage[baselines.State]
+
+// runBaseline executes a baseline stage composition with per-stage usage
+// accounting: every method returns a trace carrying its stage spans —
+// the same observability surface the pipeline-backed methods have. The
+// partial trace (spans up to the failing stage) survives errors.
+func runBaseline(build stageBuilder) RunFunc {
+	return func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+		// The registry hands every method a *llm.Counting client; reuse it
+		// so one counting layer serves span diffs and query totals alike.
+		counter, ok := d.Client.(*llm.Counting)
+		if !ok {
+			counter = llm.NewCounting(d.Client)
+		}
+		stages := build(d, o, q, counter)
+		st := baselines.State{Question: q.Text, Open: q.Open, Anchors: q.Anchors}
+		spans, err := exec.Run(ctx, &st,
+			exec.Options{DefaultTimeout: o.Core.StageTimeout, Usage: counter.Usage}, stages...)
+		tr := &core.Trace{Question: q.Text, Stages: spans}
+		tr.LLMCalls, _, _ = counter.Usage()
+		if err != nil {
+			return "", tr, err
+		}
+		return st.Answer, tr, nil
+	}
+}
+
 // The built-in registrations: the paper's method (plus its Gp-only
 // ablation) and the five Table II baselines, in the paper's table order.
+// Every method — pipeline and baseline alike — runs as a composition of
+// exec stages, so answer traces uniformly expose per-stage spans.
 func init() {
 	MustRegister(Registration{
 		Name:        "ours",
@@ -57,7 +89,7 @@ func init() {
 			}
 			res, err := p.Answer(ctx, q.Text)
 			if err != nil {
-				return "", nil, err
+				return "", &res.Trace, err
 			}
 			return res.Answer, &res.Trace, nil
 		},
@@ -73,18 +105,11 @@ func init() {
 			if err != nil {
 				return "", nil, err
 			}
-			var tr core.Trace
-			tr.Question = q.Text
-			gp, err := p.GeneratePseudoGraph(ctx, q.Text, &tr)
+			res, err := p.AnswerPseudoOnly(ctx, q.Text)
 			if err != nil {
-				return "", nil, err
+				return "", &res.Trace, err
 			}
-			tr.Gp = gp
-			text, err := p.AnswerFromGraph(ctx, q.Text, gp, &tr)
-			if err != nil {
-				return "", nil, err
-			}
-			return text, &tr, nil
+			return res.Answer, &res.Trace, nil
 		},
 	})
 	MustRegister(Registration{
@@ -96,30 +121,29 @@ func init() {
 			if len(q.Anchors) == 0 {
 				return "", nil, &InvalidQueryError{Reason: "method tog needs anchor entities"}
 			}
-			text, err := baselines.ToG(ctx, d.Client, d.Store, d.Encoder, q.Text, q.Anchors, o.ToG)
-			return text, nil, err
+			return runBaseline(func(d Deps, o Options, q Query, client llm.Client) []exec.Stage[baselines.State] {
+				return baselines.ToGStages(client, d.Store, o.ToG)
+			})(ctx, d, o, q)
 		},
 	})
 	MustRegister(Registration{
 		Name:        "io",
 		Description: "standard input-output prompting, 6 in-context examples",
-		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
-			text, err := baselines.IO(ctx, d.Client, q.Text)
-			return text, nil, err
-		},
+		Run: runBaseline(func(d Deps, o Options, q Query, client llm.Client) []exec.Stage[baselines.State] {
+			return baselines.IOStages(client)
+		}),
 	})
 	MustRegister(Registration{
 		Name:        "cot",
 		Description: "chain-of-thought prompting",
-		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
-			text, err := baselines.CoT(ctx, d.Client, q.Text)
-			return text, nil, err
-		},
+		Run: runBaseline(func(d Deps, o Options, q Query, client llm.Client) []exec.Stage[baselines.State] {
+			return baselines.CoTStages(client)
+		}),
 	})
 	MustRegister(Registration{
 		Name:        "sc",
 		Description: fmt.Sprintf("self-consistency: %d CoT samples at temperature %.1f, voted", DefaultSCConfig().Samples, DefaultSCConfig().Temperature),
-		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+		Run: runBaseline(func(d Deps, o Options, q Query, client llm.Client) []exec.Stage[baselines.State] {
 			cfg := o.SC
 			if q.Overrides.Samples != nil {
 				cfg.Samples = *q.Overrides.Samples
@@ -127,21 +151,19 @@ func init() {
 			if q.Overrides.Temperature != nil {
 				cfg.Temperature = *q.Overrides.Temperature
 			}
-			text, err := baselines.SC(ctx, d.Client, q.Text, q.Open, cfg)
-			return text, nil, err
-		},
+			return baselines.SCStages(client, cfg)
+		}),
 	})
 	MustRegister(Registration{
 		Name:        "rag",
 		Description: "question-level retrieval over the semantic KG",
 		NeedsIndex:  true,
-		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
+		Run: runBaseline(func(d Deps, o Options, q Query, client llm.Client) []exec.Stage[baselines.State] {
 			cfg := o.RAG
 			if q.Overrides.TopK != nil {
 				cfg.TopK = *q.Overrides.TopK
 			}
-			text, err := baselines.RAG(ctx, d.Client, d.Index, q.Text, cfg)
-			return text, nil, err
-		},
+			return baselines.RAGStages(client, d.Index, cfg)
+		}),
 	})
 }

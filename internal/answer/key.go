@@ -77,4 +77,12 @@ func writeOverrides(b *strings.Builder, o Overrides) {
 		b.WriteString(strconv.Itoa(*o.Samples))
 		b.WriteByte(';')
 	}
+	if o.TokenBudget != nil {
+		// A budget changes the outcome (a run may be refused mid-way), so
+		// budgeted and unbudgeted queries must never share a cache entry or
+		// a singleflight leader.
+		b.WriteString("b=")
+		b.WriteString(strconv.Itoa(*o.TokenBudget))
+		b.WriteByte(';')
+	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -210,7 +209,10 @@ type method struct {
 func (m *method) Name() string { return m.reg.Name }
 
 // Answer implements Answerer: validate, wrap the client for usage
-// accounting, run the method, assemble the uniform result.
+// accounting, run the method, assemble the uniform result. On a failed run
+// the result still carries the usage actually spent and the partial trace
+// (with stage spans up to the failure), so serving layers can meter and
+// attribute errors per stage.
 func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 	if strings.TrimSpace(q.Text) == "" {
 		return Result{}, &InvalidQueryError{Reason: "empty question text"}
@@ -218,7 +220,12 @@ func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	counter := &countingClient{inner: m.deps.Client}
+	if q.Overrides.TokenBudget != nil && *q.Overrides.TokenBudget > 0 {
+		ctx = llm.WithBudget(ctx, llm.NewBudget(*q.Overrides.TokenBudget))
+	}
+	// Budget enforcement sits inside the counter, so refused calls never
+	// count as usage — and holds whether or not a scheduler is configured.
+	counter := llm.NewCounting(llm.Budgeted(m.deps.Client))
 	deps := m.deps
 	deps.Client = counter
 	var epoch uint64
@@ -231,41 +238,16 @@ func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 
 	start := time.Now()
 	text, trace, err := m.reg.Run(ctx, deps, m.opts, q)
-	if err != nil {
-		return Result{}, err
-	}
+	calls, promptTokens, completionTokens := counter.Usage()
 	return Result{
 		Answer:           text,
 		Method:           m.reg.Name,
 		Model:            m.opts.Model,
 		Epoch:            epoch,
 		Elapsed:          time.Since(start),
-		LLMCalls:         int(counter.calls.Load()),
-		PromptTokens:     int(counter.promptTokens.Load()),
-		CompletionTokens: int(counter.completionTokens.Load()),
+		LLMCalls:         calls,
+		PromptTokens:     promptTokens,
+		CompletionTokens: completionTokens,
 		Trace:            trace,
-	}, nil
-}
-
-// countingClient tallies usage of every completion made on behalf of one
-// query; safe for the concurrent calls a method might make.
-type countingClient struct {
-	inner            llm.Client
-	calls            atomic.Int64
-	promptTokens     atomic.Int64
-	completionTokens atomic.Int64
-}
-
-// Name implements llm.Client.
-func (c *countingClient) Name() string { return c.inner.Name() }
-
-// Complete implements llm.Client, counting successful calls.
-func (c *countingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
-	resp, err := c.inner.Complete(ctx, req)
-	if err == nil {
-		c.calls.Add(1)
-		c.promptTokens.Add(int64(resp.Usage.PromptTokens))
-		c.completionTokens.Add(int64(resp.Usage.CompletionTokens))
-	}
-	return resp, err
+	}, err
 }

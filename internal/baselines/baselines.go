@@ -1,8 +1,11 @@
 // Package baselines implements the comparison methods of the paper's
 // Table II: IO prompting, Chain-of-Thought, Self-Consistency, question-
-// level RAG, and Think-on-Graph (ToG). Each is a small strategy over the
-// same llm.Client and KG substrates the PG&AKV pipeline uses, so method
-// differences — not plumbing differences — drive the benchmark deltas.
+// level RAG, and Think-on-Graph (ToG). Each method is a composition of
+// typed stages (internal/core/exec) over the same llm.Client and KG
+// substrates the PG&AKV pipeline uses, so method differences — not
+// plumbing differences — drive the benchmark deltas, and every method
+// emits the same per-stage trace spans (latency, LLM usage, sizes) the
+// pipeline does.
 package baselines
 
 import (
@@ -10,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core/exec"
 	"repro/internal/embed"
 	"repro/internal/kg"
 	"repro/internal/llm"
@@ -18,23 +22,87 @@ import (
 	"repro/internal/vecstore"
 )
 
-// IO answers with the standard input-output prompt (6 in-context
-// examples), no reasoning elicitation.
-func IO(ctx context.Context, client llm.Client, question string) (string, error) {
-	resp, err := client.Complete(ctx, llm.Request{Prompt: prompts.IO(question)})
-	if err != nil {
-		return "", fmt.Errorf("baselines: IO: %w", err)
+// Stage names of the baseline compositions.
+const (
+	// StageAnswer is the final (for IO/CoT: only) LLM answer generation.
+	StageAnswer = "answer"
+	// StageSample is Self-Consistency's multi-sample draw.
+	StageSample = "sample"
+	// StageAggregate is Self-Consistency's vote/medoid fold (no LLM).
+	StageAggregate = "aggregate"
+	// StageRetrieve is RAG's question-level vector retrieval (no LLM).
+	StageRetrieve = "retrieve"
+	// StageExplore is ToG's anchored KG exploration with LLM pruning.
+	StageExplore = "explore"
+)
+
+// State is the shared scratch space a baseline composition runs over: each
+// stage reads what earlier stages produced and writes its own artefact.
+type State struct {
+	Question string
+	// Open marks an open-ended question (SC aggregates by medoid instead
+	// of majority vote).
+	Open bool
+	// Anchors are the gold topic entities anchor-based methods start from.
+	Anchors []string
+
+	// Samples holds SC's drawn completions.
+	Samples []string
+	// Graph is the evidence graph retrieval/exploration stages build.
+	Graph *kg.Graph
+	// Answer is the composition's final output.
+	Answer string
+}
+
+// answerStage builds the terminal LLM stage from a prompt constructor.
+func answerStage(client llm.Client, build func(s *State) string, wrap string) exec.Stage[State] {
+	return exec.Stage[State]{
+		Name: StageAnswer,
+		Run: func(ctx context.Context, s *State) error {
+			resp, err := client.Complete(ctx, llm.Request{Prompt: build(s)})
+			if err != nil {
+				return fmt.Errorf("baselines: %s: %w", wrap, err)
+			}
+			s.Answer = resp.Text
+			return nil
+		},
+		InputSize:  func(s *State) int { return len(s.Question) },
+		OutputSize: func(s *State) int { return len(s.Answer) },
 	}
-	return resp.Text, nil
+}
+
+// IOStages is the IO composition: one answer stage with the standard
+// input-output prompt (6 in-context examples), no reasoning elicitation.
+func IOStages(client llm.Client) []exec.Stage[State] {
+	return []exec.Stage[State]{
+		answerStage(client, func(s *State) string { return prompts.IO(s.Question) }, "IO"),
+	}
+}
+
+// CoTStages is the Chain-of-Thought composition.
+func CoTStages(client llm.Client) []exec.Stage[State] {
+	return []exec.Stage[State]{
+		answerStage(client, func(s *State) string { return prompts.CoT(s.Question) }, "CoT"),
+	}
+}
+
+// IO answers with the standard input-output prompt.
+func IO(ctx context.Context, client llm.Client, question string) (string, error) {
+	return runComposition(ctx, question, false, nil, IOStages(client))
 }
 
 // CoT answers with chain-of-thought prompting.
 func CoT(ctx context.Context, client llm.Client, question string) (string, error) {
-	resp, err := client.Complete(ctx, llm.Request{Prompt: prompts.CoT(question)})
-	if err != nil {
-		return "", fmt.Errorf("baselines: CoT: %w", err)
+	return runComposition(ctx, question, false, nil, CoTStages(client))
+}
+
+// runComposition executes a baseline composition over a fresh state.
+func runComposition(ctx context.Context, question string, open bool, anchors []string, stages []exec.Stage[State]) (string, error) {
+	st := State{Question: question, Open: open, Anchors: anchors}
+	if _, err := exec.Run(ctx, &st, exec.Options{}, stages...); err != nil {
+		return "", err
 	}
-	return resp.Text, nil
+	return st.Answer, nil
 }
 
 // SCConfig parameterises Self-Consistency; the paper samples three CoT
@@ -47,30 +115,55 @@ type SCConfig struct {
 // DefaultSCConfig returns the paper's SC settings.
 func DefaultSCConfig() SCConfig { return SCConfig{Samples: 3, Temperature: 0.7} }
 
-// SC answers with Self-Consistency: sample several CoT completions and
-// aggregate. Precise answers vote on the normalised {marked} entity; open
-// answers take the medoid by pairwise ROUGE-L (the sample most consistent
-// with the others).
-func SC(ctx context.Context, client llm.Client, question string, open bool, cfg SCConfig) (string, error) {
+// SCStages is the Self-Consistency composition: a sampling stage that
+// draws cfg.Samples CoT completions, then an LLM-free aggregation stage —
+// majority vote on the normalised {marked} entity for precise questions,
+// pairwise-ROUGE medoid for open ones.
+func SCStages(client llm.Client, cfg SCConfig) []exec.Stage[State] {
 	if cfg.Samples < 1 {
 		cfg = DefaultSCConfig()
 	}
-	samples := make([]string, 0, cfg.Samples)
-	for i := 0; i < cfg.Samples; i++ {
-		resp, err := client.Complete(ctx, llm.Request{
-			Prompt:      prompts.CoT(question),
-			Temperature: cfg.Temperature,
-			Nonce:       i,
-		})
-		if err != nil {
-			return "", fmt.Errorf("baselines: SC sample %d: %w", i, err)
-		}
-		samples = append(samples, resp.Text)
+	return []exec.Stage[State]{
+		{
+			Name: StageSample,
+			Run: func(ctx context.Context, s *State) error {
+				s.Samples = s.Samples[:0]
+				for i := 0; i < cfg.Samples; i++ {
+					resp, err := client.Complete(ctx, llm.Request{
+						Prompt:      prompts.CoT(s.Question),
+						Temperature: cfg.Temperature,
+						Nonce:       i,
+					})
+					if err != nil {
+						return fmt.Errorf("baselines: SC sample %d: %w", i, err)
+					}
+					s.Samples = append(s.Samples, resp.Text)
+				}
+				return nil
+			},
+			InputSize:  func(s *State) int { return len(s.Question) },
+			OutputSize: func(s *State) int { return len(s.Samples) },
+		},
+		{
+			Name: StageAggregate,
+			Run: func(ctx context.Context, s *State) error {
+				if s.Open {
+					s.Answer = scMedoid(s.Samples)
+				} else {
+					s.Answer = scVote(s.Samples)
+				}
+				return nil
+			},
+			InputSize:  func(s *State) int { return len(s.Samples) },
+			OutputSize: func(s *State) int { return len(s.Answer) },
+		},
 	}
-	if open {
-		return scMedoid(samples), nil
-	}
-	return scVote(samples), nil
+}
+
+// SC answers with Self-Consistency: sample several CoT completions and
+// aggregate.
+func SC(ctx context.Context, client llm.Client, question string, open bool, cfg SCConfig) (string, error) {
+	return runComposition(ctx, question, open, nil, SCStages(client, cfg))
 }
 
 // scVote picks the majority normalised marked answer; ties break toward
@@ -130,26 +223,38 @@ type RAGConfig struct {
 // DefaultRAGConfig returns the standard setting.
 func DefaultRAGConfig() RAGConfig { return RAGConfig{TopK: 5} }
 
-// RAG retrieves the triples most similar to the *question text* (not to
-// pseudo-triples — that is the method's defining weakness on multi-hop
-// questions, where intermediate entities never appear in the question) and
-// answers from them.
-func RAG(ctx context.Context, client llm.Client, index vecstore.Searcher, question string, cfg RAGConfig) (string, error) {
+// RAGStages is the RAG composition: an LLM-free retrieval stage over the
+// *question text* (not pseudo-triples — the method's defining weakness on
+// multi-hop questions, where intermediate entities never appear in the
+// question), then answer generation from the retrieved triples.
+func RAGStages(client llm.Client, index vecstore.Searcher, cfg RAGConfig) []exec.Stage[State] {
 	if cfg.TopK <= 0 {
 		cfg = DefaultRAGConfig()
 	}
-	hits := index.Search(question, cfg.TopK)
-	g := &kg.Graph{}
-	for _, h := range hits {
-		g.Add(h.Triple)
+	return []exec.Stage[State]{
+		{
+			Name: StageRetrieve,
+			Run: func(ctx context.Context, s *State) error {
+				g := &kg.Graph{}
+				for _, h := range index.Search(s.Question, cfg.TopK) {
+					g.Add(h.Triple)
+				}
+				s.Graph = g
+				return nil
+			},
+			InputSize:  func(s *State) int { return len(s.Question) },
+			OutputSize: func(s *State) int { return s.Graph.Len() },
+		},
+		answerStage(client, func(s *State) string {
+			return prompts.AnswerFromGraph(s.Question, s.Graph.String())
+		}, "RAG"),
 	}
-	resp, err := client.Complete(ctx, llm.Request{
-		Prompt: prompts.AnswerFromGraph(question, g.String()),
-	})
-	if err != nil {
-		return "", fmt.Errorf("baselines: RAG: %w", err)
-	}
-	return resp.Text, nil
+}
+
+// RAG retrieves the triples most similar to the question and answers from
+// them.
+func RAG(ctx context.Context, client llm.Client, index vecstore.Searcher, question string, cfg RAGConfig) (string, error) {
+	return runComposition(ctx, question, false, nil, RAGStages(client, index, cfg))
 }
 
 // ToGConfig parameterises Think-on-Graph exploration.
@@ -165,16 +270,47 @@ type ToGConfig struct {
 // DefaultToGConfig returns the exploration settings used in the benches.
 func DefaultToGConfig() ToGConfig { return ToGConfig{Depth: 3, RelBeam: 2, WidthCap: 8} }
 
-// ToG implements Think-on-Graph: anchored at the gold topic entities (the
-// paper notes ToG "leaks the QID" — the anchors are given, which is its
-// headline advantage and its generalisation weakness), it explores the KG
-// by asking the LLM to score each candidate relation against the question
-// (the original method's LLM-based pruning, and its dominant error
-// source), then answers from the explored subgraph.
-func ToG(ctx context.Context, client llm.Client, store kg.Reader, enc *embed.Encoder, question string, anchors []string, cfg ToGConfig) (string, error) {
+// ToGStages is the Think-on-Graph composition: anchored at the gold topic
+// entities (the paper notes ToG "leaks the QID" — the anchors are given,
+// which is its headline advantage and its generalisation weakness), an
+// exploration stage walks the KG asking the LLM to score each candidate
+// relation against the question (the original method's LLM-based pruning,
+// and its dominant error source), then an answer stage reads the explored
+// subgraph.
+func ToGStages(client llm.Client, store kg.Reader, cfg ToGConfig) []exec.Stage[State] {
 	if cfg.Depth <= 0 {
 		cfg = DefaultToGConfig()
 	}
+	return []exec.Stage[State]{
+		{
+			Name: StageExplore,
+			Run: func(ctx context.Context, s *State) error {
+				explored, err := explore(ctx, client, store, s.Question, s.Anchors, cfg)
+				if err != nil {
+					return err
+				}
+				s.Graph = explored
+				return nil
+			},
+			InputSize:  func(s *State) int { return len(s.Anchors) },
+			OutputSize: func(s *State) int { return s.Graph.Len() },
+		},
+		answerStage(client, func(s *State) string {
+			return prompts.AnswerFromGraph(s.Question, s.Graph.String())
+		}, "ToG"),
+	}
+}
+
+// ToG implements Think-on-Graph over the gold topic entities. The encoder
+// parameter is kept for signature stability with earlier revisions.
+func ToG(ctx context.Context, client llm.Client, store kg.Reader, enc *embed.Encoder, question string, anchors []string, cfg ToGConfig) (string, error) {
+	_ = enc
+	return runComposition(ctx, question, false, anchors, ToGStages(client, store, cfg))
+}
+
+// explore walks the KG from the anchors, keeping the LLM-pruned relation
+// beam per entity per hop, and returns the deduplicated explored subgraph.
+func explore(ctx context.Context, client llm.Client, store kg.Reader, question string, anchors []string, cfg ToGConfig) (*kg.Graph, error) {
 	explored := &kg.Graph{}
 	frontier := make([]string, 0, len(anchors))
 	for _, a := range anchors {
@@ -204,7 +340,7 @@ func ToG(ctx context.Context, client llm.Client, store kg.Reader, enc *embed.Enc
 			}
 			kept, err := pruneRelations(ctx, client, question, candidates, cfg.RelBeam)
 			if err != nil {
-				return "", fmt.Errorf("baselines: ToG: %w", err)
+				return nil, fmt.Errorf("baselines: ToG: %w", err)
 			}
 			for _, rel := range kept {
 				for _, t := range store.SubjectRelation(ent, rel) {
@@ -217,14 +353,7 @@ func ToG(ctx context.Context, client llm.Client, store kg.Reader, enc *embed.Enc
 		}
 		frontier = next
 	}
-
-	resp, err := client.Complete(ctx, llm.Request{
-		Prompt: prompts.AnswerFromGraph(question, explored.Dedup().String()),
-	})
-	if err != nil {
-		return "", fmt.Errorf("baselines: ToG: %w", err)
-	}
-	return resp.Text, nil
+	return explored.Dedup(), nil
 }
 
 // pruneRelations asks the LLM to score candidate relations against the

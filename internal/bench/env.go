@@ -64,6 +64,11 @@ type EnvConfig struct {
 	// size, auto-compaction threshold); the zero value uses the package
 	// defaults with auto-compaction off.
 	Substrate substrate.Config
+	// LLMConcurrency bounds in-flight LLM calls across the whole
+	// environment with the shared scheduler (interactive traffic preempts
+	// batch work when saturated); <= 0 leaves admission unbounded — bench
+	// cells then measure raw method cost, not queueing.
+	LLMConcurrency int
 }
 
 // DefaultEnvConfig returns the paper-scale environment.
@@ -109,6 +114,12 @@ type Env struct {
 	// are visible to serving traffic immediately.
 	Substrates map[kg.Source]*substrate.Manager
 	Models     map[string]*llm.SimLM
+	// Scheduler is the shared LLM admission controller (nil when
+	// LLMConcurrency is unbounded); Clients are the per-model serving
+	// clients every pipeline and answerer routes Complete through — the
+	// sim models wrapped by the scheduler when one is configured.
+	Scheduler *llm.Scheduler
+	Clients   map[string]llm.Client
 
 	// Cache is the shared answer cache (nil when EnvConfig.Cache is off);
 	// Metrics collects per-method serving metrics for every request that
@@ -151,6 +162,14 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		ModelGPT35: llm.NewSim(w, llm.GPT35Params(), cfg.WorldSeed),
 		ModelGPT4:  llm.NewSim(w, llm.GPT4Params(), cfg.WorldSeed),
 	}
+	var sched *llm.Scheduler
+	if cfg.LLMConcurrency > 0 {
+		sched = llm.NewScheduler(llm.SchedulerConfig{Concurrency: cfg.LLMConcurrency})
+	}
+	clients := make(map[string]llm.Client, len(models))
+	for name, m := range models {
+		clients[name] = sched.Wrap(m) // nil scheduler wraps to the model itself
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -169,6 +188,8 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Indexes:    indexes,
 		Substrates: substrates,
 		Models:     models,
+		Scheduler:  sched,
+		Clients:    clients,
 		Cache:      serve.NewCache(cfg.Cache), // nil when Size <= 0
 		Metrics:    serve.NewCollector(),
 		pipelines:  map[string]cachedPipeline{},
@@ -199,7 +220,7 @@ func (e *Env) Pipeline(model string, src kg.Source) (*core.Pipeline, error) {
 	if c, ok := e.pipelines[key]; ok && c.epoch == snap.Epoch {
 		return c.pipeline, nil
 	}
-	m, ok := e.Models[model]
+	m, ok := e.Clients[model]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown model %q", model)
 	}
@@ -222,7 +243,7 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 	if a, ok := e.answerers[key]; ok {
 		return a, nil
 	}
-	m, ok := e.Models[model]
+	m, ok := e.Clients[model]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown model %q", model)
 	}
@@ -275,6 +296,10 @@ type cachedPipeline struct {
 
 // DedupStats reports the environment's singleflight counters.
 func (e *Env) DedupStats() serve.GroupStats { return e.flights.Stats() }
+
+// SchedulerStats reports the shared LLM scheduler's depth/wait counters
+// (zeros when admission is unbounded).
+func (e *Env) SchedulerStats() llm.SchedulerStats { return e.Scheduler.Stats() }
 
 // MemoStats reports the environment-wide embedding memo counters.
 func (e *Env) MemoStats() core.MemoStats { return e.Cfg.Core.Memo.Stats() }

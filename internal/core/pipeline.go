@@ -27,7 +27,9 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/core/exec"
 	"repro/internal/cypher"
 	"repro/internal/embed"
 	"repro/internal/kg"
@@ -95,6 +97,10 @@ type Config struct {
 	// pipelines per request (the answer registry) must share one memo or
 	// nothing persists between questions.
 	Memo *Memo
+	// StageTimeout bounds each pipeline stage individually (0 = only the
+	// caller's context applies). A stage that exceeds it fails with a
+	// deadline error attributed to that stage in the trace spans.
+	StageTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's settings.
@@ -183,6 +189,9 @@ type Trace struct {
 	VerifyRaw  string
 	AnswerRaw  string
 	LLMCalls   int
+	// Stages holds one span per executed stage — latency, LLM usage,
+	// input/output sizes and error class, in execution order.
+	Stages []exec.Span
 }
 
 // Clone returns a deep copy of the trace: the graphs and every slice field
@@ -206,6 +215,9 @@ func (tr *Trace) Clone() *Trace {
 	if tr.Kept != nil {
 		out.Kept = append([]SubjectConfidence(nil), tr.Kept...)
 	}
+	if tr.Stages != nil {
+		out.Stages = append([]exec.Span(nil), tr.Stages...)
+	}
 	return &out
 }
 
@@ -215,45 +227,26 @@ type Result struct {
 	Trace  Trace
 }
 
-// Answer runs the full PG&AKV flow for a question. The context bounds the
-// whole run: cancellation or deadline expiry aborts at the next LLM call.
-func (p *Pipeline) Answer(ctx context.Context, question string) (Result, error) {
-	var tr Trace
-	tr.Question = question
-
-	// Step 1: Pseudo-Graph Generation.
-	gp, err := p.GeneratePseudoGraph(ctx, question, &tr)
-	if err != nil {
-		return Result{}, err
-	}
-	tr.Gp = gp
-
-	// Steps 2-3: Atomic Knowledge Verification — semantic query + pruning.
-	gg := p.QueryAndPrune(gp, &tr)
-	tr.Gg = gg
-
-	// Step 4: Pseudo-Graph Verification.
-	gf, err := p.Verify(ctx, question, gp, gg, &tr)
-	if err != nil {
-		return Result{}, err
-	}
-	tr.Gf = gf
-
-	// Step 5: Answer generation.
-	answer, err := p.AnswerFromGraph(ctx, question, gf, &tr)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Answer: answer, Trace: tr}, nil
-}
-
 // GeneratePseudoGraph performs step 1: prompt, execute Cypher, decode.
 // Failures produce an empty graph, never an error (LLM transport errors
 // still propagate).
 func (p *Pipeline) GeneratePseudoGraph(ctx context.Context, question string, tr *Trace) (*kg.Graph, error) {
-	resp, err := p.client.Complete(ctx, llm.Request{
+	return p.generatePseudoGraph(ctx, p.client, question, 0, p.cfg.Temperature, tr)
+}
+
+// generatePseudoGraph is step 1 over an explicit client (stage runs route
+// through a per-run counting client) and sampling nonce: round 0 is greedy
+// at the pipeline temperature, later rounds sample at the given
+// temperature (the refine loop's retry diversity).
+func (p *Pipeline) generatePseudoGraph(ctx context.Context, client llm.Client, question string, nonce int, temperature float64, tr *Trace) (*kg.Graph, error) {
+	temp := p.cfg.Temperature
+	if nonce > 0 {
+		temp = temperature
+	}
+	resp, err := client.Complete(ctx, llm.Request{
 		Prompt:      prompts.PseudoGraph(question),
-		Temperature: p.cfg.Temperature,
+		Temperature: temp,
+		Nonce:       nonce,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: pseudo-graph generation: %w", err)
@@ -529,11 +522,16 @@ func tokenSet(s string) map[string]bool {
 // Verify performs step 4: the LLM edits Gp against Gg. With an empty Gg
 // there is nothing to verify against and Gp passes through unchanged.
 func (p *Pipeline) Verify(ctx context.Context, question string, gp, gg *kg.Graph, tr *Trace) (*kg.Graph, error) {
+	return p.verify(ctx, p.client, question, gp, gg, tr)
+}
+
+// verify is step 4 over an explicit client.
+func (p *Pipeline) verify(ctx context.Context, client llm.Client, question string, gp, gg *kg.Graph, tr *Trace) (*kg.Graph, error) {
 	if gg.Len() == 0 {
 		return gp, nil
 	}
 	goldBlocks := gg.EntityBlocks(gg.Subjects())
-	resp, err := p.client.Complete(ctx, llm.Request{
+	resp, err := client.Complete(ctx, llm.Request{
 		Prompt:      prompts.Verify(question, goldBlocks, gp.String()),
 		Temperature: p.cfg.Temperature,
 	})
@@ -557,11 +555,16 @@ func (p *Pipeline) Verify(ctx context.Context, question string, gp, gg *kg.Graph
 // ablation entry point (w/ Gp vs w/ Gf) as well as the final step of the
 // full pipeline.
 func (p *Pipeline) AnswerFromGraph(ctx context.Context, question string, graph *kg.Graph, tr *Trace) (string, error) {
+	return p.answerFromGraph(ctx, p.client, question, graph, tr)
+}
+
+// answerFromGraph is step 5 over an explicit client.
+func (p *Pipeline) answerFromGraph(ctx context.Context, client llm.Client, question string, graph *kg.Graph, tr *Trace) (string, error) {
 	text := ""
 	if graph != nil {
 		text = graph.String()
 	}
-	resp, err := p.client.Complete(ctx, llm.Request{
+	resp, err := client.Complete(ctx, llm.Request{
 		Prompt:      prompts.AnswerFromGraph(question, text),
 		Temperature: p.cfg.Temperature,
 	})

@@ -2,11 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-
-	"repro/internal/kg"
-	"repro/internal/llm"
-	"repro/internal/prompts"
 )
 
 // RefineConfig controls the iterative extension of the pipeline — the
@@ -42,70 +37,29 @@ type RefineResult struct {
 // AnswerRefined runs the pipeline with up to cfg.MaxRounds pseudo-graph
 // attempts, keeping the first grounded round. If no round grounds, the
 // last round's result is returned (graceful degradation, as in Answer).
+// Every round is the same stage composition Answer uses, at a per-round
+// sampling nonce, so each round's trace carries its own stage spans.
 func (p *Pipeline) AnswerRefined(ctx context.Context, question string, cfg RefineConfig) (RefineResult, error) {
 	if cfg.MaxRounds < 1 {
 		cfg.MaxRounds = 1
 	}
 	var last RefineResult
 	for round := 0; round < cfg.MaxRounds; round++ {
-		var tr Trace
-		tr.Question = question
-
-		gp, err := p.generatePseudoGraphAt(ctx, question, round, cfg.Temperature, &tr)
+		res, err := p.run(ctx, question, round, cfg.Temperature,
+			p.stagePseudo(), p.stageRetrievePrune(), p.stageVerify(), p.stageAnswerFinal())
 		if err != nil {
-			return RefineResult{}, err
-		}
-		tr.Gp = gp
-		gg := p.QueryAndPrune(gp, &tr)
-		tr.Gg = gg
-		gf, err := p.Verify(ctx, question, gp, gg, &tr)
-		if err != nil {
-			return RefineResult{}, err
-		}
-		tr.Gf = gf
-		answer, err := p.AnswerFromGraph(ctx, question, gf, &tr)
-		if err != nil {
-			return RefineResult{}, err
+			// Keep the failed round's partial trace (spans up to the
+			// failing stage), matching every other entry point.
+			return RefineResult{Result: res, Rounds: round + 1}, err
 		}
 		last = RefineResult{
-			Result:   Result{Answer: answer, Trace: tr},
+			Result:   res,
 			Rounds:   round + 1,
-			Grounded: gg.Len() > 0,
+			Grounded: res.Trace.Gg.Len() > 0,
 		}
 		if last.Grounded {
 			return last, nil
 		}
 	}
 	return last, nil
-}
-
-// generatePseudoGraphAt is GeneratePseudoGraph with an explicit sampling
-// nonce and temperature: round 0 is greedy (identical to the plain
-// pipeline); later rounds sample.
-func (p *Pipeline) generatePseudoGraphAt(ctx context.Context, question string, nonce int, temperature float64, tr *Trace) (*kg.Graph, error) {
-	temp := p.cfg.Temperature
-	if nonce > 0 {
-		temp = temperature
-	}
-	resp, err := p.client.Complete(ctx, llm.Request{
-		Prompt:      prompts.PseudoGraph(question),
-		Temperature: temp,
-		Nonce:       nonce,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: pseudo-graph generation (round %d): %w", nonce, err)
-	}
-	if tr != nil {
-		tr.PseudoRaw = resp.Text
-		tr.LLMCalls++
-	}
-	code := ExtractCypher(resp.Text)
-	if tr != nil {
-		tr.PseudoCode = code
-	}
-	gp, derr := decodeOrEmpty(code, tr)
-	if derr != nil {
-		return nil, derr
-	}
-	return gp, nil
 }

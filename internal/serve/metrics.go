@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/answer"
+	"repro/internal/core/exec"
 )
 
 // latencyBucketsMS are the histogram upper bounds in milliseconds; the
@@ -22,6 +23,7 @@ var errorClasses = []answer.ErrorClass{
 	answer.ClassDeadline,
 	answer.ClassUnknownMethod,
 	answer.ClassInvalidQuery,
+	answer.ClassBudget,
 	answer.ClassUpstream,
 }
 
@@ -34,10 +36,13 @@ type Collector struct {
 	start   time.Time
 }
 
-// methodStats is one method's counters; every field is atomic.
+// methodStats is one method's counters; every hot-path field is atomic.
+// Stage aggregation takes a short mutex — stage cardinality is tiny (four
+// pipeline stages, at most a few per baseline) and spans arrive once per
+// request, not per call.
 type methodStats struct {
 	count     atomic.Int64
-	classes   [5]atomic.Int64 // indexed parallel to errorClasses
+	classes   [6]atomic.Int64 // indexed parallel to errorClasses
 	other     atomic.Int64    // error classes outside the fixed set
 	cacheHits atomic.Int64
 	shared    atomic.Int64
@@ -48,6 +53,20 @@ type methodStats struct {
 	llmCalls         atomic.Int64
 	promptTokens     atomic.Int64
 	completionTokens atomic.Int64
+
+	stageMu sync.Mutex
+	stages  map[string]*stageStats
+}
+
+// stageStats aggregates one stage's spans within a method.
+type stageStats struct {
+	count            int64
+	errors           int64
+	errorsByClass    map[string]int64
+	latencyNS        int64
+	llmCalls         int64
+	promptTokens     int64
+	completionTokens int64
 }
 
 // NewCollector returns an empty collector.
@@ -115,6 +134,40 @@ func (c *Collector) Record(method string, elapsed time.Duration, err error, usag
 	s.completionTokens.Add(int64(usage.CompletionTokens))
 }
 
+// RecordStages folds one run's stage spans into the method's per-stage
+// aggregates. Callers skip cache hits and coalesced runs — their spans
+// belong to the run that actually executed.
+func (c *Collector) RecordStages(method string, spans []exec.Span) {
+	if c == nil || len(spans) == 0 {
+		return
+	}
+	s := c.stats(method)
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.stages == nil {
+		s.stages = make(map[string]*stageStats, len(spans))
+	}
+	for _, sp := range spans {
+		st := s.stages[sp.Stage]
+		if st == nil {
+			st = &stageStats{}
+			s.stages[sp.Stage] = st
+		}
+		st.count++
+		if sp.Err != "" {
+			st.errors++
+			if st.errorsByClass == nil {
+				st.errorsByClass = map[string]int64{}
+			}
+			st.errorsByClass[sp.Err]++
+		}
+		st.latencyNS += int64(sp.Latency)
+		st.llmCalls += int64(sp.LLMCalls)
+		st.promptTokens += int64(sp.PromptTokens)
+		st.completionTokens += int64(sp.CompletionTokens)
+	}
+}
+
 // LatencySnapshot summarises a method's latency distribution.
 type LatencySnapshot struct {
 	MeanMS float64 `json:"mean_ms"`
@@ -132,6 +185,19 @@ type BucketCount struct {
 	Count   int64   `json:"count"`
 }
 
+// StageSnapshot is one stage's aggregate within a method: how often it
+// ran, how long it took, what it cost, and how it failed.
+type StageSnapshot struct {
+	Stage            string           `json:"stage"`
+	Count            int64            `json:"count"`
+	Errors           int64            `json:"errors"`
+	ErrorsByClass    map[string]int64 `json:"errors_by_class,omitempty"`
+	MeanLatencyMS    float64          `json:"mean_latency_ms"`
+	LLMCalls         int64            `json:"llm_calls"`
+	PromptTokens     int64            `json:"prompt_tokens"`
+	CompletionTokens int64            `json:"completion_tokens"`
+}
+
 // MethodSnapshot is one method's point-in-time metrics.
 type MethodSnapshot struct {
 	Method           string           `json:"method"`
@@ -144,6 +210,9 @@ type MethodSnapshot struct {
 	PromptTokens     int64            `json:"prompt_tokens"`
 	CompletionTokens int64            `json:"completion_tokens"`
 	Latency          LatencySnapshot  `json:"latency"`
+	// Stages breaks the method down per executed stage, sorted by stage
+	// name; empty until the method has reported spans.
+	Stages []StageSnapshot `json:"stages,omitempty"`
 }
 
 // Snapshot returns every method's metrics, sorted by method name.
@@ -178,10 +247,44 @@ func (c *Collector) Snapshot() []MethodSnapshot {
 			snap.ErrorsByClass = byClass
 		}
 		snap.Latency = latencySnapshot(s)
+		snap.Stages = stageSnapshots(s)
 		out = append(out, snap)
 		return true
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Method < out[j].Method })
+	return out
+}
+
+// stageSnapshots folds a method's per-stage aggregates, sorted by stage
+// name for stable output.
+func stageSnapshots(s *methodStats) []StageSnapshot {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if len(s.stages) == 0 {
+		return nil
+	}
+	out := make([]StageSnapshot, 0, len(s.stages))
+	for name, st := range s.stages {
+		snap := StageSnapshot{
+			Stage:            name,
+			Count:            st.count,
+			Errors:           st.errors,
+			LLMCalls:         st.llmCalls,
+			PromptTokens:     st.promptTokens,
+			CompletionTokens: st.completionTokens,
+		}
+		if len(st.errorsByClass) > 0 {
+			snap.ErrorsByClass = make(map[string]int64, len(st.errorsByClass))
+			for k, v := range st.errorsByClass {
+				snap.ErrorsByClass[k] = v
+			}
+		}
+		if st.count > 0 {
+			snap.MeanLatencyMS = float64(st.latencyNS) / float64(st.count) / float64(time.Millisecond)
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
 	return out
 }
 
@@ -268,6 +371,10 @@ func (a *meteredAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Re
 		// The upstream cost was (or will be) attributed to the run that
 		// actually executed; count nothing twice.
 		usage = answer.Result{}
+	} else if res.Trace != nil {
+		// Per-stage aggregation from the run's spans — failed runs report
+		// their partial spans too, so the failing stage is attributed.
+		a.collector.RecordStages(a.inner.Name(), res.Trace.Stages)
 	}
 	a.collector.Record(a.inner.Name(), time.Since(start), err, usage, *info)
 	return res, err

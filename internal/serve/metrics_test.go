@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/answer"
+	"repro/internal/core/exec"
 )
 
 func TestCollectorRecordAndSnapshot(t *testing.T) {
@@ -119,4 +120,46 @@ func TestMetricsMiddlewareRecordsErrors(t *testing.T) {
 	if s.LLMCalls != 0 {
 		t.Fatalf("failed run contributed usage: %+v", s)
 	}
+}
+
+// TestCollectorStageAggregation: spans fold into per-stage counts,
+// errors-by-class and mean latency, sorted by stage name.
+func TestCollectorStageAggregation(t *testing.T) {
+	c := NewCollector()
+	c.RecordStages("ours", []exec.Span{
+		{Stage: "pseudo-graph", Latency: 4 * time.Millisecond, LLMCalls: 1, PromptTokens: 40, CompletionTokens: 8},
+		{Stage: "answer", Latency: 2 * time.Millisecond, LLMCalls: 1},
+	})
+	c.RecordStages("ours", []exec.Span{
+		{Stage: "pseudo-graph", Latency: 2 * time.Millisecond, LLMCalls: 1},
+		{Stage: "answer", Err: exec.ErrClassDeadline, Latency: time.Millisecond},
+	})
+
+	snaps := c.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("methods = %d, want 1", len(snaps))
+	}
+	stages := snaps[0].Stages
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	// Sorted by name: answer before pseudo-graph.
+	ans, pg := stages[0], stages[1]
+	if ans.Stage != "answer" || pg.Stage != "pseudo-graph" {
+		t.Fatalf("stage order: %q, %q", ans.Stage, pg.Stage)
+	}
+	if pg.Count != 2 || pg.LLMCalls != 2 || pg.PromptTokens != 40 {
+		t.Errorf("pseudo-graph aggregate = %+v", pg)
+	}
+	if pg.MeanLatencyMS != 3 {
+		t.Errorf("pseudo-graph mean latency = %v, want 3ms", pg.MeanLatencyMS)
+	}
+	if ans.Errors != 1 || ans.ErrorsByClass[exec.ErrClassDeadline] != 1 {
+		t.Errorf("answer errors = %+v", ans)
+	}
+
+	// Nil collector and empty spans are no-ops.
+	var nilC *Collector
+	nilC.RecordStages("m", []exec.Span{{Stage: "s"}})
+	c.RecordStages("ours", nil)
 }

@@ -9,12 +9,13 @@ import (
 
 	"repro/internal/answer"
 	"repro/internal/core"
+	"repro/internal/core/exec"
 	"repro/internal/kg"
 )
 
 // TestCacheGetReturnsIsolatedCopy is the aliasing regression: a caller
-// mutating a cached Result's trace (appending to Gf, editing Kept) must
-// never corrupt the entry other callers will receive.
+// mutating a cached Result's trace (appending to Gf, editing Kept or the
+// stage spans) must never corrupt the entry other callers will receive.
 func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	c := NewCache(CacheConfig{Size: 4})
 	orig := answer.Result{
@@ -22,6 +23,10 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 		Trace: &core.Trace{
 			Gf:   kg.NewGraph(kg.NewTriple("s", "r", "o")),
 			Kept: []core.SubjectConfidence{{Subject: "s", Confidence: 1}},
+			Stages: []exec.Span{
+				{Stage: core.StagePseudo, LLMCalls: 1, Latency: time.Millisecond},
+				{Stage: core.StageAnswer, LLMCalls: 1},
+			},
 		},
 	}
 	c.Put("k", orig)
@@ -29,6 +34,8 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	// Mutating the producer's copy after Put must not reach the cache.
 	orig.Trace.Gf.Add(kg.NewTriple("post-put", "p", "p"))
 	orig.Trace.Kept[0].Subject = "CORRUPTED"
+	orig.Trace.Stages[0].Stage = "CORRUPTED"
+	orig.Trace.Stages[1].LLMCalls = 99
 
 	first, ok := c.Get("k")
 	if !ok {
@@ -37,10 +44,15 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	if first.Trace.Gf.Len() != 1 || first.Trace.Kept[0].Subject != "s" {
 		t.Fatalf("producer mutation reached the cache: %+v", first.Trace)
 	}
+	if first.Trace.Stages[0].Stage != core.StagePseudo || first.Trace.Stages[1].LLMCalls != 1 {
+		t.Fatalf("producer span mutation reached the cache: %+v", first.Trace.Stages)
+	}
 
 	// Mutating one hitter's copy must not reach the next hitter.
 	first.Trace.Gf.Add(kg.NewTriple("hit-poison", "p", "p"))
 	first.Trace.Kept[0].Confidence = -1
+	first.Trace.Stages[0].Latency = time.Hour
+	first.Trace.Stages = append(first.Trace.Stages, exec.Span{Stage: "bogus"})
 
 	second, ok := c.Get("k")
 	if !ok {
@@ -48,6 +60,9 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	}
 	if second.Trace.Gf.Len() != 1 || second.Trace.Kept[0].Confidence != 1 {
 		t.Fatalf("hitter mutation reached the cache: %+v", second.Trace)
+	}
+	if len(second.Trace.Stages) != 2 || second.Trace.Stages[0].Latency != time.Millisecond {
+		t.Fatalf("hitter span mutation reached the cache: %+v", second.Trace.Stages)
 	}
 }
 
