@@ -9,16 +9,18 @@
 //	       [-cache-size 4096] [-cache-ttl 5m]
 //	       [-shard-size 4096] [-compact-threshold 0]
 //	       [-llm-concurrency 32] [-stage-timeout 0]
+//	       [-data-dir ""] [-fsync interval] [-checkpoint-interval 0]
 //
 // Endpoints:
 //
 //	GET  /healthz
 //	GET  /v1/methods
-//	GET  /v1/metrics          per-method counters/latency + cache, dedup and substrate stats
-//	POST /v1/answer           {"question": "...", "method": "ours", "model": "gpt4"}
-//	POST /v1/batch            {"method": "cot", "queries": [{"question": "..."}, ...]}
-//	POST /v1/ingest           {"kg": "wikidata", "triples": [{"subject": "...", "relation": "...", "object": "..."}]}
-//	POST /v1/snapshot/compact {"kg": "wikidata"}
+//	GET  /v1/metrics              per-method counters/latency + cache, dedup and substrate stats
+//	POST /v1/answer               {"question": "...", "method": "ours", "model": "gpt4"}
+//	POST /v1/batch                {"method": "cot", "queries": [{"question": "..."}, ...]}
+//	POST /v1/ingest               {"kg": "wikidata", "triples": [{"subject": "...", "relation": "...", "object": "..."}]}
+//	POST /v1/snapshot/compact     {"kg": "wikidata"}
+//	POST /v1/snapshot/checkpoint  {"kg": "wikidata"} (durable servers only)
 //
 // Serving middleware: every method is wrapped with per-method metrics, an
 // LRU+TTL answer cache (disable with -cache-size 0; /v1/answer reports
@@ -43,6 +45,16 @@
 // -compact-threshold N (default 2048) compacts automatically once the
 // delta holds N triples, which also bounds per-ingest publish cost — the
 // delta store copy each publish makes never exceeds the threshold.
+//
+// Durability: with -data-dir set, every ingest batch is appended to a
+// per-source write-ahead log before it is applied (-fsync
+// always|interval|never picks the sync policy) and checkpoints — a
+// paired (triples.nt, index.bin) snapshot — are written on compaction,
+// on the -checkpoint-interval timer, and on POST
+// /v1/snapshot/checkpoint. On boot the server recovers: newest valid
+// checkpoint, then WAL tail replay, resuming at a non-regressed epoch so
+// epoch-scoped cache keys stay correct across restarts. See
+// docs/operations.md for the recovery runbook.
 package main
 
 import (
@@ -73,10 +85,26 @@ func main() {
 	compactThreshold := flag.Int("compact-threshold", 2048, "auto-compact when a delta reaches this many triples (0 = manual only; the default bounds per-ingest publish cost)")
 	llmConcurrency := flag.Int("llm-concurrency", 32, "max in-flight LLM calls across all traffic; interactive /v1/answer requests preempt queued batch work when saturated (0 = unbounded)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage deadline inside every method run (0 = only the request timeout applies)")
+	dataDir := flag.String("data-dir", "", "persist ingested triples under this directory (WAL + checkpoints, one subdirectory per KG source); empty = memory-only, a restart drops post-boot facts")
+	fsync := flag.String("fsync", "interval", "WAL sync policy: always (fsync per ingest), interval (background fsync, default), never (OS decides)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "write a checkpoint on this timer in addition to compactions and /v1/snapshot/checkpoint (0 = no timer)")
 	flag.Parse()
 
+	fsyncPolicy, err := substrate.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgakvd:", err)
+		os.Exit(1)
+	}
 	cache := serve.CacheConfig{Size: *cacheSize, TTL: *cacheTTL}
-	sub := substrate.Config{ShardSize: *shardSize, CompactThreshold: *compactThreshold}
+	sub := substrate.Config{
+		ShardSize:        *shardSize,
+		CompactThreshold: *compactThreshold,
+		Durability: substrate.Durability{
+			Dir:                *dataDir,
+			Fsync:              fsyncPolicy,
+			CheckpointInterval: *checkpointInterval,
+		},
+	}
 	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
@@ -100,7 +128,19 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	if err != nil {
 		return err
 	}
+	defer env.Close()
 	fmt.Printf("environment ready in %v: %s\n", time.Since(start).Round(time.Millisecond), env.World.Stats())
+	if sub.Durability.Enabled() {
+		for src, mgr := range env.Substrates {
+			rec := mgr.Recovery()
+			checkpoint := "no checkpoint"
+			if rec.CheckpointEpoch > 0 {
+				checkpoint = fmt.Sprintf("recovered checkpoint epoch %d (%d triples)", rec.CheckpointEpoch, rec.CheckpointTriples)
+			}
+			fmt.Printf("substrate %s: durable (fsync=%s), %s, replayed %d wal record(s) (%d triples), dropped %d torn record(s)\n",
+				src, sub.Durability.Fsync, checkpoint, rec.ReplayedRecords, rec.ReplayedTriples, rec.TornRecordsDropped)
+		}
+	}
 
 	srv := &http.Server{
 		Addr:              addr,

@@ -29,6 +29,7 @@ import (
 //	POST /v1/batch            answer many questions with a worker pool
 //	POST /v1/ingest           add triples to a KG source's live delta
 //	POST /v1/snapshot/compact fold a source's delta into a new frozen base
+//	POST /v1/snapshot/checkpoint persist a source's snapshot (durable servers)
 //
 // Every handler honours the request context: a disconnecting client or an
 // expiring per-request timeout cancels the in-flight pipeline run. Answers
@@ -74,6 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/snapshot/compact", s.handleCompact)
+	mux.HandleFunc("POST /v1/snapshot/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -519,6 +521,54 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		BaseTriples:  snap.BaseTriples,
 		DeltaTriples: snap.DeltaTriples,
 		ElapsedMS:    time.Since(start).Milliseconds(),
+	})
+}
+
+// checkpointRequest/Response are the /v1/snapshot/checkpoint wire forms.
+type checkpointRequest struct {
+	KG string `json:"kg,omitempty"` // default wikidata
+}
+
+type checkpointResponse struct {
+	KG        string `json:"kg"`
+	Epoch     uint64 `json:"epoch"`
+	Triples   int    `json:"triples"`
+	Shards    int    `json:"shards"`
+	Path      string `json:"path"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req checkpointRequest
+	// An empty body means "checkpoint the default source".
+	if !s.decodeBody(w, r, &req, true) {
+		return
+	}
+	mgr, src, err := s.substrateFor(req.KG)
+	if err != nil {
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	start := time.Now()
+	info, err := mgr.Checkpoint(r.Context())
+	switch {
+	case errors.Is(err, substrate.ErrNotDurable):
+		writeError(w, errors.New("server is not durable: start pgakvd with -data-dir to enable checkpoints"), answer.ClassInvalidQuery)
+		return
+	case errors.Is(err, substrate.ErrCheckpointing):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error(), Class: "conflict"})
+		return
+	case err != nil:
+		writeError(w, err, answer.Classify(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		KG:        src.String(),
+		Epoch:     info.Epoch,
+		Triples:   info.Triples,
+		Shards:    info.Shards,
+		Path:      info.Path,
+		ElapsedMS: time.Since(start).Milliseconds(),
 	})
 }
 

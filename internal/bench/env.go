@@ -154,7 +154,13 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	substrates := map[kg.Source]*substrate.Manager{}
 	indexes := map[kg.Source]vecstore.Searcher{}
 	for src, st := range stores {
-		mgr := substrate.NewManager(enc, st, cfg.Substrate)
+		// Recover is NewManager when EnvConfig.Substrate.Durability is off
+		// (the default); with a data dir set it restores checkpoint + WAL
+		// state from a previous run before serving.
+		mgr, err := substrate.Recover(enc, st, cfg.Substrate)
+		if err != nil {
+			return nil, fmt.Errorf("bench: substrate %s: %w", src, err)
+		}
 		substrates[src] = mgr
 		indexes[src] = mgr.Current().Index
 	}
@@ -276,6 +282,19 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 	a = serve.Stack(a, mws...)
 	e.answerers[key] = a
 	return a, nil
+}
+
+// Close shuts the environment's substrate managers down: background
+// fsync/checkpoint loops stop and WALs are flushed and closed. Only
+// meaningful for durable environments, but always safe to call.
+func (e *Env) Close() error {
+	var first error
+	for _, mgr := range e.Substrates {
+		if err := mgr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // SubstrateStats reports each source's live substrate summary.

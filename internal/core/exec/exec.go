@@ -7,6 +7,21 @@
 // error class — comes for free in every trace, and any future per-stage
 // optimisation (caching one stage, parallelising another, skipping a stage
 // under budget pressure) is a local change to one composition.
+//
+// # Invariants
+//
+//   - Span ownership: Run returns a fresh []Span the caller owns
+//     outright — spans alias nothing inside the engine, and callers that
+//     embed them in shared results (answer traces, caches) copy them
+//     again (Trace.Clone) before sharing. No two consumers ever hold the
+//     same Span backing array.
+//   - Partial spans survive errors: a failed run still returns every
+//     span recorded up to and including the failing stage, with the
+//     failure's class on the last span, so serving layers can attribute
+//     the error without re-running anything.
+//   - Usage attribution is differential: each span's LLM counters are
+//     the delta of the runner's Usage hook across that stage, so stage
+//     sums always reconcile with the run's totals.
 package exec
 
 import (

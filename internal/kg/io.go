@@ -8,20 +8,65 @@ import (
 	"strings"
 )
 
-// WriteNT streams the store's triples in a line-oriented N-Triples-like
-// text format: one angle-bracket triple per line, with an optional
-// "@ord=N" suffix for time-varying revisions. The format round-trips
-// through ReadNT and is easy to diff and grep.
-func (st *Store) WriteNT(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	for _, t := range st.All() {
-		if _, err := bw.WriteString(t.String()); err != nil {
-			return fmt.Errorf("kg: write: %w", err)
+// NTLine renders one triple in the WriteNT line form: the angle-bracket
+// surface with an optional "@ord=N" suffix for time-varying revisions.
+func NTLine(t Triple) string {
+	if t.Ord != 0 {
+		return fmt.Sprintf("%s @ord=%d", t.String(), t.Ord)
+	}
+	return t.String()
+}
+
+// ParseNTLine parses one WriteNT-format line back into a triple. Blank
+// lines and #-comments carry no triple: they return ok == false with no
+// error. Errors do not carry line positions — ReadNT (and any other
+// caller iterating a stream) wraps them in a *LineError.
+func ParseNTLine(line string) (t Triple, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Triple{}, false, nil
+	}
+	ord := 0
+	if i := strings.LastIndex(line, "@ord="); i > 0 {
+		if _, err := fmt.Sscanf(line[i:], "@ord=%d", &ord); err != nil {
+			return Triple{}, false, fmt.Errorf("bad ord suffix: %w", err)
 		}
-		if t.Ord != 0 {
-			if _, err := fmt.Fprintf(bw, " @ord=%d", t.Ord); err != nil {
-				return fmt.Errorf("kg: write: %w", err)
-			}
+		line = strings.TrimSpace(line[:i])
+	}
+	t, err = ParseTriple(line)
+	if err != nil {
+		return Triple{}, false, err
+	}
+	t.Ord = ord
+	return t, true, nil
+}
+
+// LineError reports a parse failure at a specific line of an NT stream,
+// so replay and ingest diagnostics can point at the offending input.
+// Callers extract the position with errors.As.
+type LineError struct {
+	// Line is the 1-based line number within the stream being parsed.
+	Line int
+	// Err is the underlying parse error.
+	Err error
+}
+
+// Error renders the position and the cause.
+func (e *LineError) Error() string { return fmt.Sprintf("kg: line %d: %v", e.Line, e.Err) }
+
+// Unwrap exposes the underlying parse error to errors.Is/As.
+func (e *LineError) Unwrap() error { return e.Err }
+
+// WriteNTTriples streams triples in the line-oriented N-Triples-like text
+// format (see NTLine). It is the writer hook checkpointing uses for
+// arbitrary consistent views (snapshot unions, not just *Store): the
+// caller owns the destination, so it can write to a temporary file and
+// fsync before renaming.
+func WriteNTTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(NTLine(t)); err != nil {
+			return fmt.Errorf("kg: write: %w", err)
 		}
 		if err := bw.WriteByte('\n'); err != nil {
 			return fmt.Errorf("kg: write: %w", err)
@@ -30,8 +75,17 @@ func (st *Store) WriteNT(w io.Writer) error {
 	return bw.Flush()
 }
 
+// WriteNT streams the store's triples in a line-oriented N-Triples-like
+// text format: one angle-bracket triple per line, with an optional
+// "@ord=N" suffix for time-varying revisions. The format round-trips
+// through ReadNT and is easy to diff and grep.
+func (st *Store) WriteNT(w io.Writer) error {
+	return WriteNTTriples(w, st.All())
+}
+
 // ReadNT loads triples in the WriteNT format into a new store tagged with
-// the given source. Blank lines and #-comments are skipped.
+// the given source. Blank lines and #-comments are skipped. Parse
+// failures are *LineError values carrying the 1-based offending line.
 func ReadNT(r io.Reader, source Source) (*Store, error) {
 	st := NewStore(source)
 	sc := bufio.NewScanner(r)
@@ -39,26 +93,20 @@ func ReadNT(r io.Reader, source Source) (*Store, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		t, ok, err := ParseNTLine(sc.Text())
+		if err != nil {
+			return nil, &LineError{Line: lineNo, Err: err}
+		}
+		if !ok {
 			continue
 		}
-		ord := 0
-		if i := strings.LastIndex(line, "@ord="); i > 0 {
-			if _, err := fmt.Sscanf(line[i:], "@ord=%d", &ord); err != nil {
-				return nil, fmt.Errorf("kg: line %d: bad ord suffix: %w", lineNo, err)
-			}
-			line = strings.TrimSpace(line[:i])
-		}
-		t, err := ParseTriple(line)
-		if err != nil {
-			return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
-		}
-		t.Ord = ord
 		st.Add(t)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("kg: read: %w", err)
+		// The scanner failed between lines (typically a token past the
+		// buffer cap); report the last line that parsed so the position
+		// of the failure is still findable.
+		return nil, &LineError{Line: lineNo + 1, Err: fmt.Errorf("read: %w", err)}
 	}
 	st.Freeze()
 	return st, nil

@@ -2,6 +2,8 @@ package kg
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -64,6 +66,64 @@ func TestReadNTErrors(t *testing.T) {
 	}
 	if _, err := ReadNT(strings.NewReader("<a> <b> <c> @ord=x"), SourceWikidata); err == nil {
 		t.Error("bad ord suffix accepted")
+	}
+}
+
+// TestReadNTErrorsCarryLineNumbers: parse failures are *LineError
+// values pointing at the offending 1-based line, so WAL-replay and
+// checkpoint-load diagnostics can name the bad input.
+func TestReadNTErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		line  int
+	}{
+		{"first line", "<broken", 1},
+		{"after valid lines", "<a> <b> <c>\n# comment\n<d> <e> <f>\n<broken", 4},
+		{"bad ord", "<a> <b> <c>\n<d> <e> <f> @ord=x", 2},
+		{"blank lines still counted", "\n\n<broken", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadNT(strings.NewReader(tc.input), SourceWikidata)
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			var le *LineError
+			if !errors.As(err, &le) {
+				t.Fatalf("error %v is not a *LineError", err)
+			}
+			if le.Line != tc.line {
+				t.Errorf("error line = %d, want %d (err: %v)", le.Line, tc.line, err)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("line %d", tc.line)) {
+				t.Errorf("message %q does not name line %d", err.Error(), tc.line)
+			}
+		})
+	}
+}
+
+// TestParseNTLine covers the single-line parser ReadNT and the
+// substrate WAL codec share.
+func TestParseNTLine(t *testing.T) {
+	if _, ok, err := ParseNTLine("   "); ok || err != nil {
+		t.Errorf("blank line: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := ParseNTLine("# comment"); ok || err != nil {
+		t.Errorf("comment: ok=%v err=%v", ok, err)
+	}
+	tr, ok, err := ParseNTLine("<s> <r> <o> @ord=4")
+	if err != nil || !ok {
+		t.Fatalf("valid line: ok=%v err=%v", ok, err)
+	}
+	if tr.Subject != "s" || tr.Ord != 4 {
+		t.Errorf("parsed %+v", tr)
+	}
+	if NTLine(tr) != "<s> <r> <o> @ord=4" {
+		t.Errorf("NTLine round trip produced %q", NTLine(tr))
+	}
+	if _, _, err := ParseNTLine("<unterminated"); err == nil {
+		t.Error("unterminated bracket accepted")
 	}
 }
 

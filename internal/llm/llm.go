@@ -21,6 +21,23 @@
 //   - context dominance        = with a non-empty but insufficient graph
 //     the model answers from the graph anyway (why RAG underperforms IO
 //     on multi-hop QALD in Table II)
+//
+// # Serving primitives and invariants
+//
+// Beyond SimLM, the package provides the serving-side LLM plumbing:
+// Scheduler (process-wide bounded concurrency with
+// interactive-preempts-batch priority lanes), Budgeted (per-request
+// token budgets enforced independently of admission — they hold even
+// with an unbounded scheduler), and Counting (the usage hook the exec
+// engine diffs for per-stage attribution). Invariants:
+//
+//   - Every Complete honours its context: cancellation and deadlines
+//     abort waiting in the scheduler queue, not just the call itself.
+//   - Priority is admission order only — once admitted, a batch call is
+//     never preempted mid-flight; saturation is where lanes matter.
+//   - A budget refusal is a typed error (answer.ClassBudget downstream)
+//     attributable to the requesting method and stage, never a silent
+//     truncation.
 package llm
 
 import (

@@ -13,6 +13,21 @@
 // introspection (did the cache hit? was the run shared?) flows through an
 // Info attached to the context with Attach, so HTTP handlers can emit
 // X-Cache headers and metrics can attribute LLM cost to real runs only.
+//
+// # Invariants
+//
+//   - Epoch-scoped keys: cache and singleflight keys live under a caller
+//     scope (ScopeFunc) that includes the substrate epoch alongside the
+//     model/KG binding. A substrate hot swap moves the scope, making
+//     every pre-swap answer unreachable — invalidation by construction,
+//     not by expiry. Because durable substrates never regress their epoch
+//     across a restart, the guarantee holds across process lifetimes too.
+//   - Errors are never cached, and a singleflight follower whose own
+//     context is still live retries past a cancelled or panicking leader
+//     instead of inheriting its failure.
+//   - Cached results are isolated: Put and Get deep-copy the Result's
+//     Trace (graphs and stage spans), so no caller can mutate an entry
+//     another caller will receive.
 package serve
 
 import (

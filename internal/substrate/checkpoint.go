@@ -1,0 +1,258 @@
+package substrate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/vecstore"
+)
+
+// Checkpoint file layout, under the manager's data directory:
+//
+//	<dir>/wal.log
+//	<dir>/checkpoint-<epoch>/MANIFEST.json
+//	<dir>/checkpoint-<epoch>/triples.nt    kg.WriteNTTriples of the snapshot
+//	<dir>/checkpoint-<epoch>/index.bin     vecstore.WriteShards of its segments
+//
+// A checkpoint directory is written as checkpoint-<epoch>.tmp, its files
+// fsynced, then renamed into place — MANIFEST.json inside a final-named
+// directory is the validity marker. Recovery loads the newest directory
+// that fully validates and ignores (then prunes) everything else, so a
+// crash at any point leaves either the previous checkpoint or the new one.
+
+const (
+	checkpointPrefix = "checkpoint-"
+	manifestName     = "MANIFEST.json"
+	triplesName      = "triples.nt"
+	indexName        = "index.bin"
+	walName          = "wal.log"
+	// checkpointFormat bumps on incompatible manifest/layout changes.
+	checkpointFormat = 1
+)
+
+// manifest describes one checkpoint for validation at load time.
+type manifest struct {
+	Format  int    `json:"format"`
+	Epoch   uint64 `json:"epoch"`
+	Source  string `json:"source"`
+	Triples int    `json:"triples"`
+	Shards  int    `json:"shards"`
+}
+
+// checkpointDirName renders the final directory name for an epoch; the
+// zero-padded hex keeps lexical order equal to epoch order.
+func checkpointDirName(epoch uint64) string {
+	return fmt.Sprintf("%s%016x", checkpointPrefix, epoch)
+}
+
+// parseCheckpointEpoch extracts the epoch from a checkpoint directory
+// name, rejecting temporaries and strangers.
+func parseCheckpointEpoch(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || strings.HasSuffix(name, ".tmp") {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(strings.TrimPrefix(name, checkpointPrefix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// writeCheckpoint persists one consistent snapshot: the triples and the
+// index segments exactly as published, plus a manifest. Returns the final
+// directory path.
+func writeCheckpoint(dir string, epoch uint64, source kg.Source, triples []kg.Triple, shards []*vecstore.Index) (string, error) {
+	final := filepath.Join(dir, checkpointDirName(epoch))
+	tmp := final + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return "", fmt.Errorf("substrate: checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", fmt.Errorf("substrate: checkpoint: %w", err)
+	}
+	writeFile := func(name string, write func(f *os.File) error) error {
+		f, err := os.OpenFile(filepath.Join(tmp, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("substrate: checkpoint %s: %w", name, err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("substrate: checkpoint %s: %w", name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("substrate: checkpoint %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("substrate: checkpoint %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := writeFile(triplesName, func(f *os.File) error {
+		return kg.WriteNTTriples(f, triples)
+	}); err != nil {
+		return "", err
+	}
+	if err := writeFile(indexName, func(f *os.File) error {
+		_, err := vecstore.WriteShards(f, shards)
+		return err
+	}); err != nil {
+		return "", err
+	}
+	m := manifest{
+		Format:  checkpointFormat,
+		Epoch:   epoch,
+		Source:  source.String(),
+		Triples: len(triples),
+		Shards:  len(shards),
+	}
+	if err := writeFile(manifestName, func(f *os.File) error {
+		return json.NewEncoder(f).Encode(m)
+	}); err != nil {
+		return "", err
+	}
+	if err := syncDir(tmp); err != nil {
+		return "", err
+	}
+	if err := os.RemoveAll(final); err != nil {
+		return "", fmt.Errorf("substrate: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("substrate: checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// loadedCheckpoint is one fully-validated checkpoint, ready to become a
+// manager's base.
+type loadedCheckpoint struct {
+	epoch  uint64
+	store  *kg.Store
+	shards []*vecstore.Index
+}
+
+// loadCheckpoint reads and validates one checkpoint directory.
+func loadCheckpoint(path string, enc *embed.Encoder) (*loadedCheckpoint, error) {
+	mf, err := os.Open(filepath.Join(path, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("substrate: checkpoint manifest: %w", err)
+	}
+	var m manifest
+	err = json.NewDecoder(mf).Decode(&m)
+	mf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("substrate: checkpoint manifest: %w", err)
+	}
+	if m.Format != checkpointFormat {
+		return nil, fmt.Errorf("substrate: checkpoint format %d (want %d)", m.Format, checkpointFormat)
+	}
+	src, err := kg.ParseSource(m.Source)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := os.Open(filepath.Join(path, triplesName))
+	if err != nil {
+		return nil, fmt.Errorf("substrate: checkpoint triples: %w", err)
+	}
+	store, err := kg.ReadNT(tf, src)
+	tf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("substrate: checkpoint triples: %w", err)
+	}
+	if store.Len() != m.Triples {
+		return nil, fmt.Errorf("substrate: checkpoint holds %d triples, manifest says %d", store.Len(), m.Triples)
+	}
+	xf, err := os.Open(filepath.Join(path, indexName))
+	if err != nil {
+		return nil, fmt.Errorf("substrate: checkpoint index: %w", err)
+	}
+	shards, err := vecstore.ReadShards(xf, enc)
+	xf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("substrate: checkpoint index: %w", err)
+	}
+	if len(shards) != m.Shards {
+		return nil, fmt.Errorf("substrate: checkpoint holds %d shards, manifest says %d", len(shards), m.Shards)
+	}
+	indexed := 0
+	for _, sh := range shards {
+		indexed += sh.Len()
+	}
+	if indexed != store.Len() {
+		return nil, fmt.Errorf("substrate: checkpoint index covers %d triples, store holds %d", indexed, store.Len())
+	}
+	return &loadedCheckpoint{epoch: m.Epoch, store: store, shards: shards}, nil
+}
+
+// loadNewestCheckpoint scans dir for checkpoint directories and returns
+// the newest one that fully validates, or nil when none does. Invalid
+// newer checkpoints are skipped (and reported) rather than fatal: an
+// older intact checkpoint plus the WAL is still a correct recovery base.
+func loadNewestCheckpoint(dir string, enc *embed.Encoder) (*loadedCheckpoint, []error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, []error{fmt.Errorf("substrate: scan checkpoints: %w", err)}
+	}
+	type cand struct {
+		epoch uint64
+		path  string
+	}
+	var cands []cand
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if epoch, ok := parseCheckpointEpoch(e.Name()); ok {
+			cands = append(cands, cand{epoch, filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].epoch > cands[j].epoch })
+	var skipped []error
+	for _, c := range cands {
+		cp, err := loadCheckpoint(c.path, enc)
+		if err != nil {
+			skipped = append(skipped, fmt.Errorf("%s: %w", filepath.Base(c.path), err))
+			continue
+		}
+		return cp, skipped
+	}
+	return nil, skipped
+}
+
+// pruneCheckpoints removes every checkpoint directory except the one for
+// keep, plus any leftover temporaries. Best-effort: pruning failures are
+// returned for logging but never block serving.
+func pruneCheckpoints(dir string, keep uint64) []error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return []error{fmt.Errorf("substrate: prune checkpoints: %w", err)}
+	}
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, checkpointPrefix) {
+			continue
+		}
+		if epoch, ok := parseCheckpointEpoch(name); ok && epoch == keep {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			errs = append(errs, fmt.Errorf("substrate: prune %s: %w", name, err))
+		}
+	}
+	return errs
+}

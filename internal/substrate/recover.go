@@ -1,0 +1,311 @@
+package substrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/vecstore"
+)
+
+// Durability configures a Manager's persistence layer.
+type Durability struct {
+	// Dir is the root data directory; each manager persists under
+	// Dir/<source>/. Empty disables persistence entirely.
+	Dir string
+	// Fsync is the WAL sync policy (default SyncInterval).
+	Fsync SyncPolicy
+	// SyncEvery is SyncInterval's background fsync cadence; <= 0 uses
+	// DefaultSyncEvery.
+	SyncEvery time.Duration
+	// CheckpointInterval writes a checkpoint on a timer; <= 0 checkpoints
+	// only on compaction and explicit Checkpoint calls.
+	CheckpointInterval time.Duration
+}
+
+// DefaultSyncEvery is the SyncInterval fsync cadence when none is given.
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// Enabled reports whether this configuration persists anything.
+func (d Durability) Enabled() bool { return d.Dir != "" }
+
+// RecoveryInfo describes what boot recovery restored.
+type RecoveryInfo struct {
+	// CheckpointEpoch / CheckpointTriples describe the checkpoint the
+	// base was loaded from (zero when the seed store was used).
+	CheckpointEpoch   uint64 `json:"checkpoint_epoch"`
+	CheckpointTriples int    `json:"checkpoint_triples"`
+	// ReplayedRecords / ReplayedTriples count the WAL tail replayed on
+	// top of the checkpoint through the normal ingest path.
+	ReplayedRecords int `json:"replayed_records"`
+	ReplayedTriples int `json:"replayed_triples"`
+	// TornRecordsDropped counts trailing WAL records dropped because
+	// their frame was incomplete or failed its checksum.
+	TornRecordsDropped int `json:"torn_records_dropped"`
+	// SkippedCheckpoints counts checkpoint directories that failed
+	// validation and were passed over for an older (or no) checkpoint.
+	SkippedCheckpoints int `json:"skipped_checkpoints"`
+}
+
+// Errors the durability layer reports.
+var (
+	// ErrNotDurable reports a Checkpoint call on a memory-only manager.
+	ErrNotDurable = errors.New("substrate: durability is not enabled")
+	// ErrCheckpointing reports that a checkpoint is already being written.
+	ErrCheckpointing = errors.New("substrate: checkpoint already in progress")
+)
+
+// Recover builds a manager with persistence. When cfg.Durability is
+// disabled this is exactly NewManager; otherwise it restores the
+// substrate's pre-crash state from disk before serving:
+//
+//  1. Load the newest checkpoint under Dir/<source>/ that fully
+//     validates (manifest, triples, index); fall back to older ones,
+//     then to the seed store, when newer ones are corrupt.
+//  2. Replay the WAL tail — every record with an epoch past the
+//     checkpoint's — through the normal ingest path, re-encoding delta
+//     index segments. Torn tail records (incomplete frame or checksum
+//     mismatch) are dropped with a logged count and physically
+//     truncated so appends resume on a clean boundary.
+//  3. Resume the epoch at (max persisted epoch) + 1, so the epoch never
+//     regresses across a restart and epoch-scoped serving caches stay
+//     correct.
+//
+// The seed store is the deterministic boot-time base (the rendered
+// world); it is only used when no checkpoint exists. The manager owns
+// the seed from here on, like NewManager. Callers should Close the
+// returned manager on shutdown to stop background fsync/checkpoint
+// loops and flush the WAL.
+func Recover(enc *embed.Encoder, seed *kg.Store, cfg Config) (*Manager, error) {
+	if !cfg.Durability.Enabled() {
+		return NewManager(enc, seed, cfg), nil
+	}
+	dir := filepath.Join(cfg.Durability.Dir, seed.Source().String())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("substrate: data dir: %w", err)
+	}
+	seed.Freeze()
+	m := &Manager{
+		enc:     enc,
+		cfg:     cfg,
+		durable: true,
+		dir:     dir,
+	}
+
+	cp, skipped := loadNewestCheckpoint(dir, enc)
+	for _, err := range skipped {
+		log.Printf("substrate[%s]: skipping invalid checkpoint: %v", seed.Source(), err)
+	}
+	m.recovery.SkippedCheckpoints = len(skipped)
+	if cp != nil {
+		m.base = cp.store
+		m.baseShards = cp.shards
+		m.epoch = cp.epoch
+		m.recovery.CheckpointEpoch = cp.epoch
+		m.recovery.CheckpointTriples = cp.store.Len()
+		m.lastCheckpointEpoch.Store(cp.epoch)
+	} else {
+		m.base = seed
+		m.baseShards = vecstore.BuildShards(enc, seed.All(), cfg.ShardSize)
+	}
+	m.delta = kg.NewStore(m.base.Source())
+
+	// Replay the WAL tail through the ingest plan/apply path, then
+	// truncate any torn tail so the append cursor lands on a record
+	// boundary.
+	walPath := filepath.Join(dir, walName)
+	recs, validBytes, torn, err := replayWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	if torn > 0 {
+		log.Printf("substrate[%s]: dropping %d torn wal record(s) past byte %d", seed.Source(), torn, validBytes)
+		if err := os.Truncate(walPath, validBytes); err != nil {
+			return nil, fmt.Errorf("substrate: truncate torn wal tail: %w", err)
+		}
+	}
+	m.recovery.TornRecordsDropped = torn
+	m.mu.Lock()
+	lastEpoch := m.epoch
+	for _, rec := range recs {
+		if rec.epoch <= m.recovery.CheckpointEpoch {
+			// Already folded into the checkpoint; the record only
+			// survived because the post-checkpoint truncation didn't land
+			// before the crash.
+			continue
+		}
+		if rec.epoch > lastEpoch {
+			lastEpoch = rec.epoch
+		}
+		if len(rec.triples) == 0 {
+			continue // compaction epoch marker
+		}
+		fresh, _ := m.planLocked(rec.triples)
+		m.applyLocked(fresh)
+		m.recovery.ReplayedRecords++
+		m.recovery.ReplayedTriples += len(fresh)
+	}
+	if len(m.deltaSegs) > 1 {
+		// Live ingest coalesces segments as it goes; replay built one per
+		// record, so fold them before publishing — a long WAL tail must
+		// not boot into a snapshot fanning out over hundreds of tiny
+		// segments.
+		m.deltaSegs = []*vecstore.Index{vecstore.BuildTriples(enc, m.deltaTriplesLocked())}
+	}
+	// Resume past everything persisted: the publish below creates epoch
+	// lastEpoch+1, so no client ever observes an epoch it has seen before
+	// holding different content.
+	m.epoch = lastEpoch
+	m.publishLocked()
+	compactNeeded := cfg.CompactThreshold > 0 && m.delta.Len() >= m.cfg.CompactThreshold
+	m.mu.Unlock()
+
+	w, err := openWAL(walPath, cfg.Durability.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	m.wal = w
+
+	if cfg.Durability.Fsync == SyncInterval {
+		every := cfg.Durability.SyncEvery
+		if every <= 0 {
+			every = DefaultSyncEvery
+		}
+		m.stopFlush = make(chan struct{})
+		m.flushDone = make(chan struct{})
+		go w.flusher(every, m.stopFlush, m.flushDone)
+	}
+	if cfg.Durability.CheckpointInterval > 0 {
+		m.stopCkpt = make(chan struct{})
+		m.ckptDone = make(chan struct{})
+		go m.checkpointLoop(cfg.Durability.CheckpointInterval)
+	}
+	if compactNeeded {
+		// The replayed delta already crossed the auto-compaction
+		// threshold; fold it (and checkpoint) in the background instead of
+		// waiting for the next live ingest to notice.
+		go func() {
+			if _, err := m.Compact(context.Background()); err != nil && !errors.Is(err, ErrCompacting) {
+				log.Printf("substrate[%s]: post-recovery compaction: %v", m.Source(), err)
+			}
+		}()
+	}
+	return m, nil
+}
+
+// checkpointLoop writes timer-driven checkpoints until Close.
+func (m *Manager) checkpointLoop(every time.Duration) {
+	defer close(m.ckptDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := m.Checkpoint(context.Background()); err != nil && !errors.Is(err, ErrCheckpointing) {
+				log.Printf("substrate[%s]: timed checkpoint: %v", m.Source(), err)
+			}
+		case <-m.stopCkpt:
+			return
+		}
+	}
+}
+
+// CheckpointInfo describes one written checkpoint.
+type CheckpointInfo struct {
+	// Epoch is the snapshot epoch the checkpoint captured.
+	Epoch uint64 `json:"epoch"`
+	// Triples / Shards describe the persisted snapshot.
+	Triples int `json:"triples"`
+	Shards  int `json:"shards"`
+	// Path is the checkpoint directory on disk.
+	Path string `json:"path"`
+}
+
+// Checkpoint atomically persists the current snapshot as a paired
+// (triples.nt, index.bin) checkpoint, then truncates the WAL up to the
+// checkpointed epoch and prunes older checkpoints. The snapshot and its
+// index segments are captured under the writer lock, but all file I/O
+// runs outside it, so ingest stays live while a checkpoint writes.
+// Returns ErrNotDurable on memory-only managers and ErrCheckpointing
+// when another checkpoint is in flight.
+func (m *Manager) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
+	if !m.durable {
+		return CheckpointInfo{}, ErrNotDurable
+	}
+	m.mu.Lock()
+	if m.checkpointing {
+		m.mu.Unlock()
+		return CheckpointInfo{}, ErrCheckpointing
+	}
+	m.checkpointing = true
+	// cur always reflects the master state while m.mu is held (every
+	// mutation republishes before releasing the lock), so the snapshot
+	// and the segment list captured here are one consistent pair.
+	snap := m.cur.Load()
+	shards := append(append([]*vecstore.Index(nil), m.baseShards...), m.deltaSegs...)
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.checkpointing = false
+		m.mu.Unlock()
+	}()
+
+	if err := ctx.Err(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	path, err := writeCheckpoint(m.dir, snap.Epoch, snap.Store.Source(), snap.Store.All(), shards)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	m.checkpoints.Add(1)
+	m.lastCheckpointEpoch.Store(snap.Epoch)
+	// Truncation and pruning are space reclamation, not correctness:
+	// leftover records at or below the checkpoint epoch are filtered at
+	// replay, and older checkpoint dirs are simply not the newest. Log
+	// failures and keep serving.
+	if err := m.wal.truncateThrough(snap.Epoch); err != nil {
+		log.Printf("substrate[%s]: wal truncation after checkpoint: %v", m.Source(), err)
+	}
+	for _, err := range pruneCheckpoints(m.dir, snap.Epoch) {
+		log.Printf("substrate[%s]: %v", m.Source(), err)
+	}
+	return CheckpointInfo{
+		Epoch:   snap.Epoch,
+		Triples: snap.Store.Len(),
+		Shards:  len(shards),
+		Path:    path,
+	}, nil
+}
+
+// Durable reports whether the manager persists its state.
+func (m *Manager) Durable() bool { return m.durable }
+
+// Recovery returns what boot recovery restored (zero for memory-only
+// managers and first boots).
+func (m *Manager) Recovery() RecoveryInfo { return m.recovery }
+
+// Close stops the background fsync and checkpoint loops and flushes and
+// closes the WAL. Memory-only managers close trivially. Safe to call
+// more than once; the manager must not ingest after Close.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		if m.stopCkpt != nil {
+			close(m.stopCkpt)
+			<-m.ckptDone
+		}
+		if m.stopFlush != nil {
+			close(m.stopFlush)
+			<-m.flushDone
+		}
+		if m.wal != nil {
+			m.closeErr = m.wal.close()
+		}
+	})
+	return m.closeErr
+}

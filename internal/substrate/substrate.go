@@ -22,12 +22,37 @@
 // index — and resets the delta. It runs concurrently with ingest: only the
 // final swap takes the writer lock, and triples ingested during the build
 // survive as the new delta.
+//
+// # Invariants
+//
+//   - Snapshot immutability: a published Snapshot's Store and Index never
+//     change. Queries resolve one snapshot and keep it; swaps never tear
+//     a running query.
+//   - Epoch monotonicity: every publish increments the epoch, and on
+//     durable managers the epoch never regresses across a restart —
+//     recovery resumes past the largest persisted epoch, so epoch-scoped
+//     serving-cache keys stay valid with zero coordination.
+//   - Log-before-apply: on durable managers every ingest batch is
+//     appended (and, per policy, fsynced) to the WAL before any in-memory
+//     state changes; a failed append rejects the ingest with nothing to
+//     roll back.
+//
+// # Durability
+//
+// Config.Durability enables persistence: an ingest WAL (wal.go) bounded
+// by atomic (triples.nt, index.bin) checkpoints (checkpoint.go), written
+// on compaction, on a timer, and on demand. Build durable managers with
+// Recover, which loads the newest valid checkpoint, replays the WAL tail
+// through the normal ingest path, and drops torn tail records by
+// checksum (recover.go). Close a durable manager on shutdown.
 package substrate
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +70,10 @@ type Config struct {
 	// leaves the delta at or above this many triples; 0 disables
 	// auto-compaction (Compact can still be called explicitly).
 	CompactThreshold int
+	// Durability configures persistence (ingest WAL + checkpoints); the
+	// zero value keeps the manager memory-only. Durable managers must be
+	// built with Recover, which replays persisted state at boot.
+	Durability Durability
 }
 
 // Snapshot is one immutable substrate version. Store and Index never
@@ -66,6 +95,12 @@ type Snapshot struct {
 // ErrCompacting reports that a compaction is already running.
 var ErrCompacting = errors.New("substrate: compaction already in progress")
 
+// maxTripleBytes bounds one ingested triple's combined field length —
+// comfortably under the 1 MiB per-line cap kg.ReadNT applies when a
+// checkpoint is loaded back, so no accepted triple can ever make a
+// checkpoint unreadable.
+const maxTripleBytes = 256 << 10
+
 // Manager owns the snapshot chain for one KG source. Safe for concurrent
 // use: any number of readers (Current/Resolve) proceed lock-free while
 // writers serialise on an internal mutex.
@@ -82,12 +117,29 @@ type Manager struct {
 	// deltaSegs are the delta's index segments, one per ingest batch
 	// (coalesced when they proliferate), so each publish encodes only the
 	// newly added triples instead of the whole accumulated delta.
-	deltaSegs  []*vecstore.Index
-	epoch      uint64
-	compacting bool
+	deltaSegs     []*vecstore.Index
+	epoch         uint64
+	compacting    bool
+	checkpointing bool
 
 	ingests     atomic.Int64
 	compactions atomic.Int64
+
+	// Durability state: nil/zero for memory-only managers (see Recover).
+	durable bool
+	dir     string // per-source data directory
+	wal     *wal
+	// recovery describes what boot recovery restored; set once by Recover.
+	recovery            RecoveryInfo
+	checkpoints         atomic.Int64
+	lastCheckpointEpoch atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+	stopFlush chan struct{}
+	flushDone chan struct{}
+	stopCkpt  chan struct{}
+	ckptDone  chan struct{}
 }
 
 // NewManager builds a manager over a base store, sharding its vector
@@ -153,42 +205,43 @@ type IngestResult struct {
 //
 // When the delta reaches Config.CompactThreshold, a background
 // compaction starts automatically.
+//
+// On a durable manager the batch is appended to the write-ahead log
+// before any in-memory state changes (fsynced per the configured
+// policy): a failed append rejects the ingest with nothing to roll
+// back, and an acknowledged ingest survives a restart.
 func (m *Manager) Ingest(triples []kg.Triple) (IngestResult, error) {
 	for i, t := range triples {
 		if t.Subject == "" || t.Relation == "" || t.Object == "" {
 			return IngestResult{}, fmt.Errorf("substrate: triple %d is missing a field: %v", i, t)
 		}
+		if strings.ContainsAny(t.Subject+t.Relation+t.Object, "<>\n\r") {
+			// The persisted NT form delimits fields with angle brackets and
+			// records with newlines; a field containing them would change
+			// meaning across a checkpoint/replay round-trip.
+			return IngestResult{}, fmt.Errorf("substrate: triple %d contains a reserved character (one of '<', '>', newline): %v", i, t)
+		}
+		if len(t.Subject)+len(t.Relation)+len(t.Object) > maxTripleBytes {
+			// kg.ReadNT scans checkpoint lines with a 1 MiB buffer; a
+			// triple past that would be accepted now but make every future
+			// checkpoint containing it unloadable at boot.
+			return IngestResult{}, fmt.Errorf("substrate: triple %d is %d bytes, over the %d-byte limit", i, len(t.Subject)+len(t.Relation)+len(t.Object), maxTripleBytes)
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	added, skipped := 0, 0
-	var fresh []kg.Triple
-	for _, t := range triples {
-		if m.base.Contains(t) {
-			skipped++
-			continue
-		}
-		if t.Ord == 0 {
-			if max, ok := m.maxOrdLocked(t.Subject, t.Relation); ok {
-				t.Ord = max + 1
+	fresh, skipped := m.planLocked(triples)
+	var snap *Snapshot
+	if len(fresh) > 0 {
+		if m.wal != nil {
+			// Log-before-apply: the record carries the epoch the publish
+			// below will create.
+			if err := m.wal.append(m.epoch+1, fresh); err != nil {
+				return IngestResult{}, err
 			}
 		}
-		id, ok := m.delta.Add(t)
-		if !ok {
-			skipped++
-			continue
-		}
-		added++
-		// Record the stored form under the union's combined ID space for
-		// this batch's index segment.
-		stored, _ := m.delta.Get(id)
-		stored.ID = m.base.Len() + id
-		fresh = append(fresh, stored)
-	}
-	var snap *Snapshot
-	if added > 0 {
+		m.applyLocked(fresh)
 		m.ingests.Add(1)
-		m.deltaSegs = append(m.deltaSegs, vecstore.BuildTriples(m.enc, fresh))
 		m.coalesceDeltaSegsLocked()
 		snap = m.publishLocked()
 		if m.cfg.CompactThreshold > 0 && m.delta.Len() >= m.cfg.CompactThreshold {
@@ -202,12 +255,67 @@ func (m *Manager) Ingest(triples []kg.Triple) (IngestResult, error) {
 		snap = m.cur.Load()
 	}
 	return IngestResult{
-		Added:        added,
+		Added:        len(fresh),
 		Skipped:      skipped,
 		Epoch:        snap.Epoch,
 		BaseTriples:  snap.BaseTriples,
 		DeltaTriples: snap.DeltaTriples,
 	}, nil
+}
+
+// planLocked computes which of the batch's triples are actually new —
+// duplicates of base, delta or earlier batch entries skipped, ordinals
+// assigned — without mutating any state, so the WAL can log the exact
+// stored forms before they are applied. Caller holds m.mu.
+func (m *Manager) planLocked(triples []kg.Triple) (fresh []kg.Triple, skipped int) {
+	seen := make(map[string]bool, len(triples))
+	// pendingOrd tracks the largest ordinal planned per (subject,
+	// relation) within this batch, so repeated time-varying values keep
+	// accumulating past each other exactly as sequential ingests would.
+	pendingOrd := make(map[string]int)
+	for _, t := range triples {
+		if seen[t.Key()] || m.base.Contains(t) || m.delta.Contains(t) {
+			skipped++
+			continue
+		}
+		if t.Ord == 0 {
+			max, found := m.maxOrdLocked(t.Subject, t.Relation)
+			if p, ok := pendingOrd[t.SRKey()]; ok {
+				if !found || p > max {
+					max = p
+				}
+				found = true
+			}
+			if found {
+				t.Ord = max + 1
+			}
+		}
+		if p, ok := pendingOrd[t.SRKey()]; !ok || t.Ord > p {
+			pendingOrd[t.SRKey()] = t.Ord
+		}
+		seen[t.Key()] = true
+		fresh = append(fresh, t)
+	}
+	return fresh, skipped
+}
+
+// applyLocked adds planned triples to the delta store and appends their
+// index segment under the union's combined ID space. Caller holds m.mu;
+// the triples must come from planLocked against the current state.
+func (m *Manager) applyLocked(fresh []kg.Triple) {
+	batch := make([]kg.Triple, 0, len(fresh))
+	for _, t := range fresh {
+		id, ok := m.delta.Add(t)
+		if !ok {
+			continue // unreachable for planned triples
+		}
+		stored, _ := m.delta.Get(id)
+		stored.ID = m.base.Len() + id
+		batch = append(batch, stored)
+	}
+	if len(batch) > 0 {
+		m.deltaSegs = append(m.deltaSegs, vecstore.BuildTriples(m.enc, batch))
+	}
 }
 
 // maxOrdLocked returns the largest ordinal stored for (subject, relation)
@@ -319,7 +427,6 @@ func (m *Manager) Compact(ctx context.Context) (*Snapshot, error) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	// Whatever arrived during the build becomes the new delta. Delta IDs
 	// are assigned in insertion order, so the compacted prefix is exactly
 	// the first len(deltaPrefix) triples.
@@ -336,7 +443,26 @@ func (m *Manager) Compact(ctx context.Context) (*Snapshot, error) {
 		m.deltaSegs = []*vecstore.Index{vecstore.BuildTriples(m.enc, m.deltaTriplesLocked())}
 	}
 	m.compactions.Add(1)
-	return m.publishLocked(), nil
+	snap := m.publishLocked()
+	if m.wal != nil {
+		// A zero-triple epoch marker: the WAL then records every publish,
+		// so a recovery that replays the log never resumes at an epoch
+		// below the one clients last saw — even if the checkpoint below
+		// fails or the process dies before it lands.
+		if err := m.wal.append(snap.Epoch, nil); err != nil {
+			log.Printf("substrate[%s]: compaction epoch marker: %v", src, err)
+		}
+	}
+	m.mu.Unlock()
+
+	if m.durable {
+		// Compaction is the natural checkpoint moment: the delta just
+		// folded into the base, so persisting now keeps the WAL short.
+		if _, err := m.Checkpoint(ctx); err != nil && !errors.Is(err, ErrCheckpointing) {
+			log.Printf("substrate[%s]: checkpoint after compaction: %v", src, err)
+		}
+	}
+	return snap, nil
 }
 
 // Stats is a point-in-time summary of the manager.
@@ -347,12 +473,32 @@ type Stats struct {
 	Shards       int    `json:"shards"`
 	Ingests      int64  `json:"ingests"`
 	Compactions  int64  `json:"compactions"`
+	// Durability reports persistence counters; Enabled is false for
+	// memory-only managers.
+	Durability DurabilityStats `json:"durability"`
+}
+
+// DurabilityStats summarises the persistence layer of one manager.
+type DurabilityStats struct {
+	Enabled bool `json:"enabled"`
+	// Fsync is the configured WAL sync policy (always/interval/never).
+	Fsync string `json:"fsync,omitempty"`
+	// WALRecords / WALBytes / WALSyncs count appends since boot.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	WALSyncs   int64 `json:"wal_syncs"`
+	// Checkpoints counts checkpoints written since boot;
+	// LastCheckpointEpoch is the epoch of the newest one.
+	Checkpoints         int64  `json:"checkpoints"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
+	// Recovery describes what boot recovery restored.
+	Recovery RecoveryInfo `json:"recovery"`
 }
 
 // Stats summarises the live snapshot and the writer counters.
 func (m *Manager) Stats() Stats {
 	snap := m.cur.Load()
-	return Stats{
+	st := Stats{
 		Epoch:        snap.Epoch,
 		BaseTriples:  snap.BaseTriples,
 		DeltaTriples: snap.DeltaTriples,
@@ -360,6 +506,19 @@ func (m *Manager) Stats() Stats {
 		Ingests:      m.ingests.Load(),
 		Compactions:  m.compactions.Load(),
 	}
+	if m.durable {
+		st.Durability = DurabilityStats{
+			Enabled:             true,
+			Fsync:               m.cfg.Durability.Fsync.String(),
+			WALRecords:          m.wal.records.Load(),
+			WALBytes:            m.wal.bytes.Load(),
+			WALSyncs:            m.wal.syncs.Load(),
+			Checkpoints:         m.checkpoints.Load(),
+			LastCheckpointEpoch: m.lastCheckpointEpoch.Load(),
+			Recovery:            m.recovery,
+		}
+	}
+	return st
 }
 
 // String renders the stats compactly.

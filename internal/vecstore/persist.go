@@ -115,9 +115,17 @@ func ReadFrom(r io.Reader, enc *embed.Encoder) (*Index, error) {
 	if dim != embed.Dim {
 		return nil, fmt.Errorf("vecstore: dimension mismatch: file has %d, build has %d", dim, embed.Dim)
 	}
-	triples := make([]kg.Triple, n)
-	vecs := make([]embed.Vector, n)
-	for i := range triples {
+	// Grow incrementally instead of trusting n for the allocation: a
+	// corrupted count field must fail cleanly at the first short read, not
+	// attempt a multi-gigabyte up-front allocation.
+	const preallocCap = 1 << 16
+	initial := int(n)
+	if initial > preallocCap {
+		initial = preallocCap
+	}
+	triples := make([]kg.Triple, 0, initial)
+	vecs := make([]embed.Vector, 0, initial)
+	for i := 0; i < int(n); i++ {
 		var t kg.Triple
 		if t.Subject, err = readString(); err != nil {
 			return nil, fmt.Errorf("vecstore: triple %d: %w", i, err)
@@ -135,14 +143,16 @@ func ReadFrom(r io.Reader, enc *embed.Encoder) (*Index, error) {
 		t.Source = kg.Source(binary.LittleEndian.Uint32(meta[:4]))
 		t.Ord = int(binary.LittleEndian.Uint32(meta[4:]))
 		t.ID = i
-		triples[i] = t
 		var vec [4 * embed.Dim]byte
 		if _, err := io.ReadFull(br, vec[:]); err != nil {
 			return nil, fmt.Errorf("vecstore: vector %d: %w", i, err)
 		}
+		var v embed.Vector
 		for d := 0; d < embed.Dim; d++ {
-			vecs[i][d] = math.Float32frombits(binary.LittleEndian.Uint32(vec[d*4:]))
+			v[d] = math.Float32frombits(binary.LittleEndian.Uint32(vec[d*4:]))
 		}
+		triples = append(triples, t)
+		vecs = append(vecs, v)
 	}
 	idx := &Index{
 		enc:      enc,

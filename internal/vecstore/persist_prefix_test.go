@@ -1,0 +1,125 @@
+package vecstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+)
+
+// smallIndex builds a tiny index whose serialized form is cheap enough
+// to re-read thousands of times.
+func smallIndex(t *testing.T) *Index {
+	t.Helper()
+	enc := embed.NewEncoder()
+	return BuildTriples(enc, []kg.Triple{
+		{Subject: "China", Relation: "population", Object: "1443497378", ID: 0},
+		{Subject: "Lake Superior", Relation: "area", Object: "82350", Ord: 2, ID: 1},
+		{Subject: "Alan Turing", Relation: "field", Object: "computer science", ID: 2},
+	})
+}
+
+// TestReadFromEveryPrefixFailsCleanly is the persistence robustness
+// contract: every strict prefix of a valid index file must produce an
+// error — never a panic, never a silently short index.
+func TestReadFromEveryPrefixFailsCleanly(t *testing.T) {
+	idx := smallIndex(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i++ {
+		if _, err := ReadFrom(bytes.NewReader(full[:i]), embed.NewEncoder()); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", i, len(full))
+		}
+	}
+	if _, err := ReadFrom(bytes.NewReader(full), embed.NewEncoder()); err != nil {
+		t.Fatalf("full file failed to load: %v", err)
+	}
+}
+
+// TestReadFromCorruptCountFailsCleanly plants a huge triple count in an
+// otherwise-truncated file: the reader must fail at the first short
+// read instead of pre-allocating by the untrusted count.
+func TestReadFromCorruptCountFailsCleanly(t *testing.T) {
+	idx := smallIndex(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint32(corrupt[8:12], 0xFFFFFFFF)
+	if _, err := ReadFrom(bytes.NewReader(corrupt), embed.NewEncoder()); err == nil {
+		t.Fatal("corrupt triple count accepted")
+	}
+}
+
+// TestShardsRoundTrip checks the multi-segment container: segments,
+// lengths, search results and the renumbered combined ID space all
+// survive WriteShards/ReadShards.
+func TestShardsRoundTrip(t *testing.T) {
+	enc := embed.NewEncoder()
+	var all []kg.Triple
+	for i := 0; i < 10; i++ {
+		all = append(all, kg.Triple{
+			Subject:  []string{"China", "Lake Superior", "Alan Turing"}[i%3],
+			Relation: "fact",
+			Object:   string(rune('a' + i)),
+			ID:       i,
+		})
+	}
+	shards := BuildShards(enc, all, 4)
+	var buf bytes.Buffer
+	if _, err := WriteShards(&buf, shards); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShards(&buf, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(shards) {
+		t.Fatalf("round trip: %d shards, want %d", len(loaded), len(shards))
+	}
+	next := 0
+	for si, sh := range loaded {
+		if sh.Len() != shards[si].Len() {
+			t.Fatalf("shard %d: %d triples, want %d", si, sh.Len(), shards[si].Len())
+		}
+		for _, tr := range sh.triples {
+			if tr.ID != next {
+				t.Fatalf("shard %d: triple ID %d, want sequential %d", si, tr.ID, next)
+			}
+			next++
+		}
+	}
+	before := Compose(enc, shards...).Search("China fact", 5)
+	after := Compose(enc, loaded...).Search("China fact", 5)
+	if len(before) != len(after) {
+		t.Fatalf("search hit counts differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if !before[i].Triple.Equal(after[i].Triple) || before[i].Score != after[i].Score {
+			t.Errorf("hit %d differs: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestReadShardsEveryPrefixFailsCleanly extends the prefix contract to
+// the container format.
+func TestReadShardsEveryPrefixFailsCleanly(t *testing.T) {
+	enc := embed.NewEncoder()
+	shards := BuildShards(enc, smallIndex(t).triples, 2)
+	var buf bytes.Buffer
+	if _, err := WriteShards(&buf, shards); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i++ {
+		if _, err := ReadShards(bytes.NewReader(full[:i]), enc); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", i, len(full))
+		}
+	}
+}

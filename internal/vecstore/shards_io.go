@@ -1,0 +1,82 @@
+package vecstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/embed"
+)
+
+// shardsMagic identifies the multi-segment container format: a header
+// followed by each segment's WriteTo stream. The version byte bumps on
+// incompatible changes.
+var shardsMagic = [8]byte{'P', 'G', 'A', 'K', 'V', 'S', 'H', 1}
+
+// maxShardCount bounds the container header so a corrupted count fails
+// cleanly instead of driving a huge read loop.
+const maxShardCount = 1 << 20
+
+// WriteShards serialises a sequence of segment indexes as one stream:
+// the substrate checkpoint writer's hook for persisting a sharded index
+// (base segments plus delta segments) without flattening it. The caller
+// owns w, so it can target a temporary file and fsync before renaming —
+// nothing here touches the filesystem.
+func WriteShards(w io.Writer, shards []*Index) (int64, error) {
+	var written int64
+	var head [12]byte
+	copy(head[:8], shardsMagic[:])
+	binary.LittleEndian.PutUint32(head[8:], uint32(len(shards)))
+	n, err := w.Write(head[:])
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("vecstore: write shards header: %w", err)
+	}
+	for i, sh := range shards {
+		nn, err := sh.WriteTo(w)
+		written += nn
+		if err != nil {
+			return written, fmt.Errorf("vecstore: write shard %d: %w", i, err)
+		}
+	}
+	return written, nil
+}
+
+// ReadShards loads a WriteShards stream back into its segment indexes.
+// Triple IDs are renumbered sequentially across segments, restoring the
+// combined ID space the segments were built over (base IDs first, then
+// each delta segment in append order). The encoder must match the one
+// used at build time.
+func ReadShards(r io.Reader, enc *embed.Encoder) ([]*Index, error) {
+	// One shared buffered reader: ReadFrom reuses it (bufio over bufio is
+	// the identity), so each segment consumes exactly its own bytes.
+	br := bufio.NewReader(r)
+	var head [12]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("vecstore: read shards header: %w", err)
+	}
+	var magic [8]byte
+	copy(magic[:], head[:8])
+	if magic != shardsMagic {
+		return nil, fmt.Errorf("vecstore: bad shards magic %v", magic)
+	}
+	count := binary.LittleEndian.Uint32(head[8:])
+	if count > maxShardCount {
+		return nil, fmt.Errorf("vecstore: shard count %d too large", count)
+	}
+	shards := make([]*Index, 0, count)
+	nextID := 0
+	for i := 0; i < int(count); i++ {
+		sh, err := ReadFrom(br, enc)
+		if err != nil {
+			return nil, fmt.Errorf("vecstore: shard %d: %w", i, err)
+		}
+		for j := range sh.triples {
+			sh.triples[j].ID = nextID
+			nextID++
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
+}
