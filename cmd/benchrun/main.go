@@ -6,12 +6,14 @@
 //	benchrun -experiment all            # every table and figure
 //	benchrun -experiment table2         # main results only
 //	benchrun -experiment fig2 -quick    # fast, smaller environment
+//	benchrun -quick -out BENCH_quick.json   # also log a perf-trajectory artifact
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,6 +28,7 @@ func main() {
 	workers := flag.Int("workers", 8, "evaluation parallelism")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	csvPath := flag.String("csv", "", "also write a machine-readable CSV of every Table II cell to this path")
+	outPath := flag.String("out", "", "also write a BENCH_*.json perf-trajectory artifact (per-method accuracy, latency p50/p95, token cost) to this path")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -34,13 +37,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *experiment, *quick, *seed, *workers, *csvPath); err != nil {
+	if err := run(ctx, *experiment, *quick, *seed, *workers, *csvPath, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, experiment string, quick bool, seed int64, workers int, csvPath string) error {
+func run(ctx context.Context, experiment string, quick bool, seed int64, workers int, csvPath, outPath string) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -99,18 +102,32 @@ func run(ctx context.Context, experiment string, quick bool, seed int64, workers
 		return err
 	}
 
-	if csvPath != "" {
-		if err := writeCSVReport(ctx, env, csvPath); err != nil {
+	if csvPath != "" || outPath != "" {
+		report, err := collectTable2Report(ctx, env)
+		if err != nil {
 			return err
 		}
-		fmt.Println("CSV report written to", csvPath)
+		if csvPath != "" {
+			if err := writeTo(csvPath, report.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Println("CSV report written to", csvPath)
+		}
+		if outPath != "" {
+			art := bench.BuildPerf(env, report, quick, time.Now())
+			if err := writeTo(outPath, art.Write); err != nil {
+				return err
+			}
+			fmt.Println("perf-trajectory artifact written to", outPath)
+		}
 	}
 	return nil
 }
 
-// writeCSVReport re-runs every Table II cell through the Report collector
-// (cells are cheap; the environment is already warm) and writes CSV.
-func writeCSVReport(ctx context.Context, env *bench.Env, path string) error {
+// collectTable2Report re-runs every Table II cell through the Report
+// collector (cells are cheap; the environment is already warm) for the
+// machine-readable outputs.
+func collectTable2Report(ctx context.Context, env *bench.Env) (*bench.Report, error) {
 	r := &bench.Report{Title: "table2"}
 	for _, model := range []string{bench.ModelGPT35, bench.ModelGPT4} {
 		for _, method := range []string{bench.MethodToG, bench.MethodIO, bench.MethodCoT, bench.MethodSC, bench.MethodRAG, bench.MethodOurs} {
@@ -119,15 +136,22 @@ func writeCSVReport(ctx context.Context, env *bench.Env, path string) error {
 					continue
 				}
 				if err := r.Collect(ctx, env, method, model, ds); err != nil {
-					return err
+					return nil, err
 				}
 			}
 		}
 	}
+	return r, nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return r.WriteCSV(f)
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

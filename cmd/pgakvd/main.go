@@ -10,12 +10,15 @@
 //	       [-shard-size 4096] [-compact-threshold 0]
 //	       [-llm-concurrency 32] [-stage-timeout 0]
 //	       [-data-dir ""] [-fsync interval] [-checkpoint-interval 0]
+//	       [-trace-dir ""]
 //
 // Endpoints:
 //
 //	GET  /healthz
 //	GET  /v1/methods
 //	GET  /v1/metrics              per-method counters/latency + cache, dedup and substrate stats
+//	GET  /v1/traces               recent recorded request traces (-trace-dir servers)
+//	GET  /v1/traces/{id}          one full trace record
 //	POST /v1/answer               {"question": "...", "method": "ours", "model": "gpt4"}
 //	POST /v1/batch                {"method": "cot", "queries": [{"question": "..."}, ...]}
 //	POST /v1/ingest               {"kg": "wikidata", "triples": [{"subject": "...", "relation": "...", "object": "..."}]}
@@ -71,6 +74,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/serve"
 	"repro/internal/substrate"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -86,6 +90,7 @@ func main() {
 	llmConcurrency := flag.Int("llm-concurrency", 32, "max in-flight LLM calls across all traffic; interactive /v1/answer requests preempt queued batch work when saturated (0 = unbounded)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage deadline inside every method run (0 = only the request timeout applies)")
 	dataDir := flag.String("data-dir", "", "persist ingested triples under this directory (WAL + checkpoints, one subdirectory per KG source); empty = memory-only, a restart drops post-boot facts")
+	traceDir := flag.String("trace-dir", "", "record every answered request as a JSONL trace under this directory (serves GET /v1/traces); empty = tracing off")
 	fsync := flag.String("fsync", "interval", "WAL sync policy: always (fsync per ingest), interval (background fsync, default), never (OS decides)")
 	checkpointInterval := flag.Duration("checkpoint-interval", 0, "write a checkpoint on this timer in addition to compactions and /v1/snapshot/checkpoint (0 = no timer)")
 	flag.Parse()
@@ -105,13 +110,13 @@ func main() {
 			CheckpointInterval: *checkpointInterval,
 		},
 	}
-	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout); err != nil {
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir string) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -122,6 +127,16 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	cfg.Substrate = sub
 	cfg.LLMConcurrency = llmConcurrency
 	cfg.Core.StageTimeout = stageTimeout
+	if traceDir != "" {
+		store, err := trace.NewFileStore(traceDir)
+		if err != nil {
+			return fmt.Errorf("opening trace store: %w", err)
+		}
+		defer store.Close()
+		cfg.Trace = store
+		stats := store.Stats()
+		fmt.Printf("tracing to %s (%d existing record(s), %d dropped on recovery)\n", stats.Path, stats.Records, stats.Dropped)
+	}
 
 	start := time.Now()
 	env, err := bench.NewEnv(cfg)

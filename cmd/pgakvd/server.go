@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/serve"
 	"repro/internal/substrate"
+	"repro/internal/trace"
 )
 
 // Server exposes the answer registry over HTTP JSON. Routes:
@@ -25,6 +27,8 @@ import (
 //	GET  /healthz             liveness probe
 //	GET  /v1/methods          registered methods, models and KG sources
 //	GET  /v1/metrics          per-method serving metrics + cache/dedup/substrate stats
+//	GET  /v1/traces           recent recorded request traces (-trace-dir servers)
+//	GET  /v1/traces/{id}      one full trace record
 //	POST /v1/answer           answer one question (X-Cache: hit|miss when caching)
 //	POST /v1/batch            answer many questions with a worker pool
 //	POST /v1/ingest           add triples to a KG source's live delta
@@ -71,6 +75,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
@@ -190,6 +196,10 @@ type metricsResponse struct {
 	// wait times, budget refusals (zeros when -llm-concurrency is 0).
 	Scheduler        llm.SchedulerStats `json:"scheduler"`
 	SchedulerEnabled bool               `json:"scheduler_enabled"`
+	// Traces reports the request-trace store (zeros when -trace-dir is
+	// unset).
+	Traces        trace.StoreStats `json:"traces"`
+	TracesEnabled bool             `json:"traces_enabled"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -202,11 +212,105 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Substrates:       s.env.SubstrateStats(),
 		Scheduler:        s.env.SchedulerStats(),
 		SchedulerEnabled: s.env.Scheduler != nil,
+		Traces:           s.env.TraceStats(),
+		TracesEnabled:    s.env.Cfg.Trace != nil,
 	}
 	if resp.Methods == nil {
 		resp.Methods = []serve.MethodSnapshot{}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- trace-store handlers ---
+
+// traceSummary is one /v1/traces list entry: enough to scan and pick a
+// record without shipping the full graphs.
+type traceSummary struct {
+	ID         string  `json:"id"`
+	Time       string  `json:"time,omitempty"`
+	Question   string  `json:"question"`
+	Method     string  `json:"method"`
+	Model      string  `json:"model,omitempty"`
+	KG         string  `json:"kg,omitempty"`
+	Epoch      uint64  `json:"epoch"`
+	CacheHit   bool    `json:"cache_hit"`
+	ErrorClass string  `json:"error_class,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	LLMCalls   int     `json:"llm_calls"`
+}
+
+type tracesResponse struct {
+	Traces []traceSummary   `json:"traces"`
+	Stats  trace.StoreStats `json:"stats"`
+}
+
+// tracesDisabled writes the 404 every trace route returns on a server
+// started without -trace-dir.
+func (s *Server) tracesDisabled(w http.ResponseWriter) bool {
+	if s.env.Cfg.Trace != nil {
+		return false
+	}
+	writeJSON(w, http.StatusNotFound, errorResponse{
+		Error: "tracing is disabled: start pgakvd with -trace-dir to record request traces",
+		Class: "not-found",
+	})
+	return true
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracesDisabled(w) {
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, fmt.Errorf("invalid limit %q", v), answer.ClassInvalidQuery)
+			return
+		}
+		limit = n
+	}
+	if limit > 500 {
+		limit = 500
+	}
+	recs, err := s.env.Cfg.Trace.List(trace.ListOptions{Limit: limit, Method: r.URL.Query().Get("method")})
+	if err != nil {
+		writeError(w, err, answer.ClassUpstream)
+		return
+	}
+	resp := tracesResponse{Traces: []traceSummary{}, Stats: s.env.TraceStats()}
+	for _, rec := range recs {
+		resp.Traces = append(resp.Traces, traceSummary{
+			ID:         rec.ID,
+			Time:       rec.Time,
+			Question:   rec.Question,
+			Method:     rec.Method,
+			Model:      rec.Model,
+			KG:         rec.KG,
+			Epoch:      rec.Epoch,
+			CacheHit:   rec.CacheHit,
+			ErrorClass: rec.ErrorClass,
+			ElapsedMS:  float64(rec.ElapsedUS) / 1000,
+			LLMCalls:   rec.LLMCalls,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if s.tracesDisabled(w) {
+		return
+	}
+	rec, err := s.env.Cfg.Trace.Get(r.PathValue("id"))
+	if errors.Is(err, trace.ErrNotFound) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), Class: "not-found"})
+		return
+	}
+	if err != nil {
+		writeError(w, err, answer.ClassUpstream)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {

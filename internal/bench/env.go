@@ -25,6 +25,7 @@ import (
 	"repro/internal/qa"
 	"repro/internal/serve"
 	"repro/internal/substrate"
+	"repro/internal/trace"
 	"repro/internal/vecstore"
 	"repro/internal/world"
 )
@@ -69,6 +70,11 @@ type EnvConfig struct {
 	// batch work when saturated); <= 0 leaves admission unbounded — bench
 	// cells then measure raw method cost, not queueing.
 	LLMConcurrency int
+	// Trace, when set, records every request that flows through an
+	// Answerer — bench cells and serving traffic alike — into the store
+	// (question, answer, usage, stage spans, substrate epoch, cache-hit
+	// flag). nil leaves tracing off.
+	Trace trace.Store
 }
 
 // DefaultEnvConfig returns the paper-scale environment.
@@ -276,6 +282,11 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 	prefix := model + "/" + src.String() + "@"
 	scope := func() string { return prefix + strconv.FormatUint(mgr.Epoch(), 10) }
 	mws := []serve.Middleware{serve.WithMetrics(e.Metrics)}
+	if e.Cfg.Trace != nil {
+		// Outside the cache and singleflight so each record captures what
+		// the stack did with the request (hit, shared) plus the epoch.
+		mws = append(mws, serve.WithTrace(e.Cfg.Trace, src.String()))
+	}
 	if e.Cache != nil {
 		mws = append(mws, serve.WithCache(e.Cache, scope), serve.WithSingleflight(e.flights, scope))
 	}
@@ -319,6 +330,15 @@ func (e *Env) DedupStats() serve.GroupStats { return e.flights.Stats() }
 // SchedulerStats reports the shared LLM scheduler's depth/wait counters
 // (zeros when admission is unbounded).
 func (e *Env) SchedulerStats() llm.SchedulerStats { return e.Scheduler.Stats() }
+
+// TraceStats reports the configured trace store's counters (zeros when
+// tracing is off).
+func (e *Env) TraceStats() trace.StoreStats {
+	if e.Cfg.Trace == nil {
+		return trace.StoreStats{}
+	}
+	return e.Cfg.Trace.Stats()
+}
 
 // MemoStats reports the environment-wide embedding memo counters.
 func (e *Env) MemoStats() core.MemoStats { return e.Cfg.Core.Memo.Stats() }

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// PerfArtifact is one benchrun's machine-readable perf-trajectory entry:
+// the accuracy cells it evaluated plus the serving collector's per-method
+// cost and latency aggregates. Committed artifacts (BENCH_*.json) form a
+// trajectory of how the reproduction's speed and cost move across PRs —
+// unlike replay artifacts these carry real wall-clock numbers and are
+// records, not gates.
+type PerfArtifact struct {
+	GeneratedAt string `json:"generated_at"`
+	Quick       bool   `json:"quick"`
+	Seed        int64  `json:"seed"`
+	Workers     int    `json:"workers"`
+	// Cells are the accuracy results (Table-II shape).
+	Cells []PerfCell `json:"cells"`
+	// Serving are the per-method serving aggregates for everything the
+	// environment answered this run: token cost and wall latency
+	// percentiles.
+	Serving []PerfMethod `json:"serving"`
+}
+
+// PerfCell is one accuracy cell.
+type PerfCell struct {
+	Method    string  `json:"method"`
+	Model     string  `json:"model"`
+	Dataset   string  `json:"dataset"`
+	Source    string  `json:"kg_source"`
+	Score     float64 `json:"score"`
+	N         int     `json:"n"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+}
+
+// PerfMethod is one method's serving aggregate.
+type PerfMethod struct {
+	Method           string  `json:"method"`
+	Count            int64   `json:"count"`
+	Errors           int64   `json:"errors"`
+	LLMCalls         int64   `json:"llm_calls"`
+	PromptTokens     int64   `json:"prompt_tokens"`
+	CompletionTokens int64   `json:"completion_tokens"`
+	MeanMS           float64 `json:"mean_ms"`
+	P50MS            float64 `json:"p50_ms"`
+	P95MS            float64 `json:"p95_ms"`
+}
+
+// BuildPerf assembles the artifact from a collected report and the
+// environment's metrics collector.
+func BuildPerf(e *Env, r *Report, quick bool, now time.Time) PerfArtifact {
+	art := PerfArtifact{
+		GeneratedAt: now.UTC().Format(time.RFC3339),
+		Quick:       quick,
+		Seed:        e.Cfg.WorldSeed,
+		Workers:     e.Cfg.Workers,
+		Cells:       []PerfCell{},
+		Serving:     []PerfMethod{},
+	}
+	for _, c := range r.Cells {
+		art.Cells = append(art.Cells, PerfCell{
+			Method: c.Method, Model: c.Model, Dataset: c.Dataset,
+			Source: c.Source.String(), Score: c.Score, N: c.N,
+			ElapsedMS: c.Elapsed.Milliseconds(),
+		})
+	}
+	for _, m := range e.Metrics.Snapshot() {
+		art.Serving = append(art.Serving, perfMethod(m))
+	}
+	return art
+}
+
+func perfMethod(m serve.MethodSnapshot) PerfMethod {
+	return PerfMethod{
+		Method:           m.Method,
+		Count:            m.Count,
+		Errors:           m.Errors,
+		LLMCalls:         m.LLMCalls,
+		PromptTokens:     m.PromptTokens,
+		CompletionTokens: m.CompletionTokens,
+		MeanMS:           m.Latency.MeanMS,
+		P50MS:            m.Latency.P50MS,
+		P95MS:            m.Latency.P95MS,
+	}
+}
+
+// Write emits the artifact as indented JSON.
+func (p PerfArtifact) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("bench: perf artifact: %w", err)
+	}
+	return nil
+}

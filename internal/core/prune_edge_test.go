@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/core/exec"
 	"repro/internal/embed"
 	"repro/internal/kg"
 	"repro/internal/vecstore"
@@ -166,18 +167,27 @@ func TestCalibrateNaNGuard(t *testing.T) {
 
 func TestTraceClone(t *testing.T) {
 	tr := &Trace{
-		Question: "q",
-		Gp:       kg.NewGraph(kg.NewTriple("a", "r", "b")),
-		Gg:       kg.NewGraph(kg.NewTriple("c", "r", "d")),
-		Gt:       []vecstore.Hit{{Triple: kg.NewTriple("a", "r", "b"), Score: 0.5}},
-		Kept:     []SubjectConfidence{{Subject: "a", Confidence: 1}},
+		Question:   "q",
+		Gp:         kg.NewGraph(kg.NewTriple("a", "r", "b")),
+		Gg:         kg.NewGraph(kg.NewTriple("c", "r", "d")),
+		Gf:         kg.NewGraph(kg.NewTriple("e", "r", "f")),
+		Gt:         []vecstore.Hit{{Triple: kg.NewTriple("a", "r", "b"), Score: 0.5}},
+		Candidates: []SubjectConfidence{{Subject: "cand", Confidence: 0.3}},
+		Kept:       []SubjectConfidence{{Subject: "a", Confidence: 1}},
+		Stages:     []exec.Span{{Stage: StagePseudo, LLMCalls: 1}},
 	}
 	cl := tr.Clone()
 	cl.Gp.Triples[0].Subject = "CORRUPTED"
 	cl.Gt[0].Score = -1
+	cl.Candidates[0].Subject = "CORRUPTED"
 	cl.Kept[0].Subject = "CORRUPTED"
 	cl.Gg.Add(kg.NewTriple("x", "y", "z"))
+	cl.Gf.Add(kg.NewTriple("x", "y", "z"))
+	cl.Stages[0].LLMCalls = 99
 	if tr.Gp.Triples[0].Subject != "a" || tr.Gt[0].Score != 0.5 || tr.Kept[0].Subject != "a" || tr.Gg.Len() != 1 {
+		t.Errorf("clone shares state with original: %+v", tr)
+	}
+	if tr.Candidates[0].Subject != "cand" || tr.Gf.Len() != 1 || tr.Stages[0].LLMCalls != 1 {
 		t.Errorf("clone shares state with original: %+v", tr)
 	}
 	var nilTr *Trace

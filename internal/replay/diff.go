@@ -1,0 +1,146 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Thresholds are the regression gate's limits. The zero value is not
+// useful — use DefaultThresholds and tighten/loosen per flag.
+type Thresholds struct {
+	// MaxAccuracyDropPP is the largest tolerated per-method accuracy drop
+	// in percentage points.
+	MaxAccuracyDropPP float64
+	// MaxP95Inflation is the largest tolerated ratio of current to
+	// baseline virtual p95 latency (1.25 = +25%).
+	MaxP95Inflation float64
+	// MaxTokenInflation is the largest tolerated ratio of current to
+	// baseline total token cost.
+	MaxTokenInflation float64
+}
+
+// DefaultThresholds are the CI gate defaults: accuracy is tight (the
+// simulated environment is fully deterministic, so any drop is a real
+// behaviour change), cost and latency get headroom for intended changes.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxAccuracyDropPP: 0.5,
+		MaxP95Inflation:   1.25,
+		MaxTokenInflation: 1.10,
+	}
+}
+
+// Finding is one gate violation or notable change.
+type Finding struct {
+	Method string `json:"method"`
+	// Kind: accuracy-drop | p95-inflation | token-inflation | new-errors |
+	// method-missing | method-added | cells-changed.
+	Kind     string  `json:"kind"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Detail   string  `json:"detail"`
+	// Fatal findings fail the gate; non-fatal ones are informational
+	// (new methods, answer drift commentary).
+	Fatal bool `json:"fatal"`
+}
+
+// Report is the outcome of diffing a replay artifact against a baseline.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// OK reports whether the gate passes (no fatal findings).
+func (r Report) OK() bool {
+	for _, f := range r.Findings {
+		if f.Fatal {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff compares a current artifact against the committed baseline under
+// the gate thresholds. Findings come out sorted (method, kind) so the
+// gate's output is as deterministic as the artifacts it reads.
+func Diff(baseline, current Artifact, th Thresholds) Report {
+	var rep Report
+	add := func(f Finding) { rep.Findings = append(rep.Findings, f) }
+
+	methods := make([]string, 0, len(baseline.Methods))
+	for m := range baseline.Methods {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+
+	for _, m := range methods {
+		b := baseline.Methods[m]
+		c, ok := current.Methods[m]
+		if !ok {
+			add(Finding{Method: m, Kind: "method-missing", Baseline: float64(b.N), Fatal: true,
+				Detail: fmt.Sprintf("method %s present in baseline (%d cells) but absent from current artifact", m, b.N)})
+			continue
+		}
+		if c.N != b.N {
+			add(Finding{Method: m, Kind: "cells-changed", Baseline: float64(b.N), Current: float64(c.N), Fatal: true,
+				Detail: fmt.Sprintf("cell count moved %d -> %d; diff the suite, not just the binary", b.N, c.N)})
+		}
+		if drop := b.Accuracy - c.Accuracy; drop > th.MaxAccuracyDropPP {
+			add(Finding{Method: m, Kind: "accuracy-drop", Baseline: b.Accuracy, Current: c.Accuracy, Fatal: true,
+				Detail: fmt.Sprintf("accuracy fell %.4f -> %.4f (-%.4fpp, gate %.4fpp)", b.Accuracy, c.Accuracy, drop, th.MaxAccuracyDropPP)})
+		}
+		if b.Latency.P95 > 0 && th.MaxP95Inflation > 0 {
+			if ratio := c.Latency.P95 / b.Latency.P95; ratio > th.MaxP95Inflation {
+				add(Finding{Method: m, Kind: "p95-inflation", Baseline: b.Latency.P95, Current: c.Latency.P95, Fatal: true,
+					Detail: fmt.Sprintf("virtual p95 inflated %.1fms -> %.1fms (%.2fx, gate %.2fx)", b.Latency.P95, c.Latency.P95, ratio, th.MaxP95Inflation)})
+			}
+		}
+		if bt := b.TotalTokens(); bt > 0 && th.MaxTokenInflation > 0 {
+			if ratio := float64(c.TotalTokens()) / float64(bt); ratio > th.MaxTokenInflation {
+				add(Finding{Method: m, Kind: "token-inflation", Baseline: float64(bt), Current: float64(c.TotalTokens()), Fatal: true,
+					Detail: fmt.Sprintf("token cost inflated %d -> %d (%.2fx, gate %.2fx)", bt, c.TotalTokens(), ratio, th.MaxTokenInflation)})
+			}
+		}
+		if c.Errors > b.Errors {
+			add(Finding{Method: m, Kind: "new-errors", Baseline: float64(b.Errors), Current: float64(c.Errors), Fatal: true,
+				Detail: fmt.Sprintf("errored cells rose %d -> %d (classes: %v)", b.Errors, c.Errors, c.ErrorsByClass)})
+		}
+	}
+
+	extra := make([]string, 0)
+	for m := range current.Methods {
+		if _, ok := baseline.Methods[m]; !ok {
+			extra = append(extra, m)
+		}
+	}
+	sort.Strings(extra)
+	for _, m := range extra {
+		c := current.Methods[m]
+		add(Finding{Method: m, Kind: "method-added", Current: float64(c.N),
+			Detail: fmt.Sprintf("method %s (%d cells) is new since the baseline; refresh the baseline to start gating it", m, c.N)})
+	}
+	return rep
+}
+
+// Format renders the report for CI logs: one line per finding, fatal
+// ones marked, and a verdict line last.
+func (r Report) Format() string {
+	var buf bytes.Buffer
+	if len(r.Findings) == 0 {
+		buf.WriteString("replay gate: no changes against baseline\n")
+		return buf.String()
+	}
+	for _, f := range r.Findings {
+		mark := "note"
+		if f.Fatal {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&buf, "[%s] %s %s: %s\n", mark, f.Method, f.Kind, f.Detail)
+	}
+	if r.OK() {
+		buf.WriteString("replay gate: PASS (informational findings only)\n")
+	} else {
+		buf.WriteString("replay gate: FAIL\n")
+	}
+	return buf.String()
+}

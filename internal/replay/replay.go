@@ -1,0 +1,186 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/answer"
+	"repro/internal/bench"
+	"repro/internal/kg"
+	"repro/internal/metrics"
+	"repro/internal/qa"
+	"repro/internal/trace"
+)
+
+// RecordOptions configure suite recording.
+type RecordOptions struct {
+	// Seed pins the world/model seed (also stamped into the suite meta).
+	Seed int64
+	// Quick records against the small test-scale environment.
+	Quick bool
+	// Methods lists the registry methods to record; empty records the full
+	// Table-II method set.
+	Methods []string
+	// Model is the model label (default bench.ModelGPT35).
+	Model string
+	// PerDataset caps how many questions of each dataset enter the suite
+	// (0 = all). The committed CI suite keeps this small.
+	PerDataset int
+	// Note is stored in the suite meta as provenance.
+	Note string
+}
+
+// DefaultMethods is the method set a suite records when none is given:
+// the paper's Table-II comparison plus the ablation.
+func DefaultMethods() []string {
+	return []string{
+		bench.MethodOurs, bench.MethodOursGp, bench.MethodToG,
+		bench.MethodIO, bench.MethodCoT, bench.MethodSC, bench.MethodRAG,
+	}
+}
+
+// newEnv assembles the replay environment for a (seed, quick) pin. The
+// answer cache stays off and no scheduler is configured: every replayed
+// request must re-run its method for real, under no admission queueing.
+func newEnv(seed int64, quick bool) (*bench.Env, error) {
+	cfg := bench.DefaultEnvConfig()
+	if quick {
+		cfg = bench.QuickEnvConfig()
+	}
+	cfg.WorldSeed = seed
+	return bench.NewEnv(cfg)
+}
+
+// RecordSuite answers every (dataset question, method) cell sequentially
+// against a fresh environment and returns the suite: one Record per cell,
+// carrying the question's gold material and deterministic IDs but no wall
+// time. Recording is the only place answers enter the suite — replay
+// never trusts them, it re-runs and re-scores.
+func RecordSuite(ctx context.Context, opts RecordOptions) (Suite, error) {
+	if opts.Model == "" {
+		opts.Model = bench.ModelGPT35
+	}
+	if len(opts.Methods) == 0 {
+		opts.Methods = DefaultMethods()
+	}
+	env, err := newEnv(opts.Seed, opts.Quick)
+	if err != nil {
+		return Suite{}, fmt.Errorf("replay: %w", err)
+	}
+	defer env.Close()
+
+	s := Suite{Meta: SuiteMeta{Version: SuiteVersion, Seed: opts.Seed, Quick: opts.Quick, Note: opts.Note}}
+	for _, ds := range env.Suite.Datasets() {
+		questions := ds.Questions
+		if opts.PerDataset > 0 && len(questions) > opts.PerDataset {
+			questions = questions[:opts.PerDataset]
+		}
+		src := bench.DefaultSource(ds.Name)
+		for _, method := range opts.Methods {
+			for _, q := range questions {
+				rec, err := answerOne(ctx, env, method, opts.Model, src, q)
+				if err != nil {
+					return Suite{}, err
+				}
+				// Zero time: suite records deliberately carry no wall time.
+				rec = rec.Stamp(fmt.Sprintf("r%06d", len(s.Records)+1), time.Time{})
+				s.Records = append(s.Records, rec)
+			}
+		}
+	}
+	if len(s.Records) == 0 {
+		return Suite{}, fmt.Errorf("replay: recorded an empty suite (no questions)")
+	}
+	return s, nil
+}
+
+// answerOne runs one (question, method) cell and builds its trace record
+// with gold material attached. Method errors are recorded, not fatal —
+// a suite can legitimately pin a failing cell.
+func answerOne(ctx context.Context, env *bench.Env, method, model string, src kg.Source, q qa.Question) (trace.Record, error) {
+	ans, err := env.Answerer(method, model, src)
+	if err != nil {
+		return trace.Record{}, fmt.Errorf("replay: %w", err)
+	}
+	query := buildQuery(method, model, q)
+	res, runErr := ans.Answer(ctx, query)
+	if ctx.Err() != nil {
+		return trace.Record{}, fmt.Errorf("replay: %w", ctx.Err())
+	}
+	return trace.Build(query, res, runErr, trace.Meta{
+		KG:    src.String(),
+		Golds: q.Golds,
+		Refs:  q.Refs,
+	}), nil
+}
+
+// buildQuery maps a dataset question onto the unified request shape (the
+// same mapping bench cells use).
+func buildQuery(method, model string, q qa.Question) answer.Query {
+	anchors := []string{q.Intent.Subject}
+	if q.Intent.Subject2 != "" {
+		anchors = append(anchors, q.Intent.Subject2)
+	}
+	return answer.Query{
+		Text:    q.Text,
+		Method:  method,
+		Model:   model,
+		Open:    q.Open(),
+		Anchors: anchors,
+	}
+}
+
+// Run replays a recorded suite against the current binary: a fresh
+// environment pinned to the suite's seed and scale, every record re-run
+// sequentially and re-scored against its recorded gold material. The
+// returned artifact is deterministic — see the package comment for the
+// contract.
+func Run(ctx context.Context, s Suite) (Artifact, error) {
+	env, err := newEnv(s.Meta.Seed, s.Meta.Quick)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("replay: %w", err)
+	}
+	defer env.Close()
+
+	agg := map[string]*methodAgg{}
+	for i, rec := range s.Records {
+		src, err := kg.ParseSource(rec.KG)
+		if err != nil || src == kg.SourceUnknown {
+			return Artifact{}, fmt.Errorf("replay: record %s: bad kg %q", rec.ID, rec.KG)
+		}
+		ans, err := env.Answerer(rec.Method, rec.Model, src)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("replay: record %s: %w", rec.ID, err)
+		}
+		query := answer.Query{
+			Text:    rec.Question,
+			Method:  rec.Method,
+			Model:   rec.Model,
+			Open:    rec.Open,
+			Anchors: rec.Anchors,
+		}
+		res, runErr := ans.Answer(ctx, query)
+		if ctx.Err() != nil {
+			return Artifact{}, fmt.Errorf("replay: %w", ctx.Err())
+		}
+		cur := trace.Build(query, res, runErr, trace.Meta{KG: rec.KG, Golds: rec.Golds, Refs: rec.Refs})
+
+		a := agg[rec.Method]
+		if a == nil {
+			a = newMethodAgg()
+			agg[rec.Method] = a
+		}
+		a.add(s.Records[i], cur)
+	}
+	return buildArtifact(s.Meta, agg), nil
+}
+
+// scoreRecord evaluates a record's answer against its own gold material:
+// ROUGE-L for open questions, Hit@1 otherwise.
+func scoreRecord(rec trace.Record, answerText string) float64 {
+	if rec.Open {
+		return metrics.RougeLMulti(answerText, rec.Refs)
+	}
+	return metrics.Hit1(answerText, rec.Golds)
+}

@@ -11,18 +11,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/core/exec"
 	"repro/internal/kg"
+	"repro/internal/vecstore"
 )
 
 // TestCacheGetReturnsIsolatedCopy is the aliasing regression: a caller
-// mutating a cached Result's trace (appending to Gf, editing Kept or the
-// stage spans) must never corrupt the entry other callers will receive.
+// mutating a cached Result's trace — any graph, hit list, candidate or
+// span slice, all of which the trace store now serializes — must never
+// corrupt the entry other callers will receive.
 func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	c := NewCache(CacheConfig{Size: 4})
 	orig := answer.Result{
 		Answer: "a",
 		Trace: &core.Trace{
-			Gf:   kg.NewGraph(kg.NewTriple("s", "r", "o")),
-			Kept: []core.SubjectConfidence{{Subject: "s", Confidence: 1}},
+			Gp:         kg.NewGraph(kg.NewTriple("p", "r", "o")),
+			Gg:         kg.NewGraph(kg.NewTriple("g", "r", "o")),
+			Gf:         kg.NewGraph(kg.NewTriple("s", "r", "o")),
+			Gt:         []vecstore.Hit{{Triple: kg.NewTriple("s", "r", "o"), Score: 0.5}},
+			Candidates: []core.SubjectConfidence{{Subject: "c", Confidence: 0.4}},
+			Kept:       []core.SubjectConfidence{{Subject: "s", Confidence: 1}},
 			Stages: []exec.Span{
 				{Stage: core.StagePseudo, LLMCalls: 1, Latency: time.Millisecond},
 				{Stage: core.StageAnswer, LLMCalls: 1},
@@ -32,7 +38,11 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	c.Put("k", orig)
 
 	// Mutating the producer's copy after Put must not reach the cache.
+	orig.Trace.Gp.Add(kg.NewTriple("post-put", "p", "p"))
+	orig.Trace.Gg.Add(kg.NewTriple("post-put", "p", "p"))
 	orig.Trace.Gf.Add(kg.NewTriple("post-put", "p", "p"))
+	orig.Trace.Gt[0].Score = -1
+	orig.Trace.Candidates[0].Subject = "CORRUPTED"
 	orig.Trace.Kept[0].Subject = "CORRUPTED"
 	orig.Trace.Stages[0].Stage = "CORRUPTED"
 	orig.Trace.Stages[1].LLMCalls = 99
@@ -41,7 +51,10 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	if !ok {
 		t.Fatal("miss")
 	}
-	if first.Trace.Gf.Len() != 1 || first.Trace.Kept[0].Subject != "s" {
+	if first.Trace.Gp.Len() != 1 || first.Trace.Gg.Len() != 1 || first.Trace.Gf.Len() != 1 {
+		t.Fatalf("producer graph mutation reached the cache: %+v", first.Trace)
+	}
+	if first.Trace.Gt[0].Score != 0.5 || first.Trace.Candidates[0].Subject != "c" || first.Trace.Kept[0].Subject != "s" {
 		t.Fatalf("producer mutation reached the cache: %+v", first.Trace)
 	}
 	if first.Trace.Stages[0].Stage != core.StagePseudo || first.Trace.Stages[1].LLMCalls != 1 {
@@ -49,7 +62,11 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	}
 
 	// Mutating one hitter's copy must not reach the next hitter.
+	first.Trace.Gp.Add(kg.NewTriple("hit-poison", "p", "p"))
+	first.Trace.Gg.Add(kg.NewTriple("hit-poison", "p", "p"))
 	first.Trace.Gf.Add(kg.NewTriple("hit-poison", "p", "p"))
+	first.Trace.Gt = append(first.Trace.Gt, vecstore.Hit{})
+	first.Trace.Candidates[0].Confidence = -1
 	first.Trace.Kept[0].Confidence = -1
 	first.Trace.Stages[0].Latency = time.Hour
 	first.Trace.Stages = append(first.Trace.Stages, exec.Span{Stage: "bogus"})
@@ -58,7 +75,10 @@ func TestCacheGetReturnsIsolatedCopy(t *testing.T) {
 	if !ok {
 		t.Fatal("miss")
 	}
-	if second.Trace.Gf.Len() != 1 || second.Trace.Kept[0].Confidence != 1 {
+	if second.Trace.Gp.Len() != 1 || second.Trace.Gg.Len() != 1 || second.Trace.Gf.Len() != 1 {
+		t.Fatalf("hitter graph mutation reached the cache: %+v", second.Trace)
+	}
+	if len(second.Trace.Gt) != 1 || second.Trace.Candidates[0].Confidence != 0.4 || second.Trace.Kept[0].Confidence != 1 {
 		t.Fatalf("hitter mutation reached the cache: %+v", second.Trace)
 	}
 	if len(second.Trace.Stages) != 2 || second.Trace.Stages[0].Latency != time.Millisecond {

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/answer"
+	"repro/internal/trace"
+)
+
+// Recorder is the slice of the trace.Store contract the tracing
+// middleware needs: consume one finished request's record. Both
+// trace.FileStore and trace.MemStore satisfy it.
+type Recorder interface {
+	Append(trace.Record) (trace.Record, error)
+}
+
+// WithTrace records every request flowing through the stack — success or
+// failure — into a trace store. Place it outside the cache and
+// singleflight layers so the record captures what the serving stack
+// actually did (cache hits, shared runs) alongside the result's substrate
+// epoch; those three fields are what lets replay diffs tell substrate
+// churn and cache effects apart from method regressions.
+//
+// kgLabel names the KG source this answerer is bound to (the query itself
+// does not carry it). A nil recorder yields a no-op middleware. Append
+// failures are deliberately swallowed: tracing is observability, and a
+// full disk must degrade recording, never answering (the store's Dropped
+// stat still counts the loss).
+func WithTrace(rec Recorder, kgLabel string) Middleware {
+	return func(inner answer.Answerer) answer.Answerer {
+		if rec == nil {
+			return inner
+		}
+		return &tracedAnswerer{named: named{inner}, rec: rec, kg: kgLabel}
+	}
+}
+
+type tracedAnswerer struct {
+	named
+	rec Recorder
+	kg  string
+}
+
+func (a *tracedAnswerer) Answer(ctx context.Context, q answer.Query) (answer.Result, error) {
+	// The cache/singleflight layers report what they did through the
+	// request Info; attach one ourselves when the front door didn't, so
+	// traced requests outside an HTTP handler (bench cells, replay
+	// recording) still capture the cache-hit flag.
+	info := infoFrom(ctx)
+	if info == nil {
+		ctx, info = Attach(ctx)
+	}
+	res, err := a.inner.Answer(ctx, q)
+	_, _ = a.rec.Append(trace.Build(q, res, err, trace.Meta{
+		KG:       a.kg,
+		CacheHit: info.CacheHit,
+		Shared:   info.Shared,
+	}))
+	return res, err
+}

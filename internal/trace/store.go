@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound reports a record ID the store does not hold.
+var ErrNotFound = errors.New("trace: record not found")
+
+// ListOptions filter a List call.
+type ListOptions struct {
+	// Limit caps the result count; <= 0 returns everything.
+	Limit int
+	// Method keeps only records of one method (case-insensitive); empty
+	// keeps all.
+	Method string
+}
+
+// StoreStats is a point-in-time store summary.
+type StoreStats struct {
+	// Records is the number of live, decodable records.
+	Records int `json:"records"`
+	// Dropped counts undecodable lines found at open (torn tails, corrupt
+	// lines) plus records that failed to append.
+	Dropped int `json:"dropped"`
+	// Bytes is the store's current on-disk size (0 for memory stores).
+	Bytes int64 `json:"bytes"`
+	// Path locates the backing file ("" for memory stores).
+	Path string `json:"path,omitempty"`
+}
+
+// Store persists request-trace records. Implementations are safe for
+// concurrent use. Append assigns the record's ID (and wall time) and
+// returns the stamped record; List returns newest-first.
+type Store interface {
+	Append(Record) (Record, error)
+	Get(id string) (Record, error)
+	List(ListOptions) ([]Record, error)
+	Stats() StoreStats
+	Close() error
+}
+
+// --- file store ---
+
+// traceFileName is the single JSONL file a FileStore appends to.
+const traceFileName = "traces.jsonl"
+
+// FileStore is the JSONL-backed Store: one append-only file, one record
+// per line. Opening an existing store recovers its index by scanning; a
+// torn final line (a crash mid-append) is physically truncated away and
+// counted, and corrupt interior lines are skipped and counted, so a
+// damaged store always reopens with every decodable record intact.
+type FileStore struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	end     int64 // append offset
+	index   map[string]span
+	order   []string // IDs in file order
+	seq     int      // last assigned sequence number
+	dropped int
+	now     func() time.Time // test hook
+}
+
+// span locates one record line inside the file.
+type span struct {
+	off int64
+	len int
+}
+
+// NewFileStore opens (creating if needed) the JSONL trace store in dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("trace: file store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: create store dir: %w", err)
+	}
+	path := filepath.Join(dir, traceFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open store: %w", err)
+	}
+	s := &FileStore{
+		f:     f,
+		path:  path,
+		index: map[string]span{},
+		now:   time.Now,
+	}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the file, building the ID index and sequence counter,
+// skipping corrupt lines and truncating a torn (unterminated) tail.
+func (s *FileStore) recover() error {
+	r := bufio.NewReaderSize(s.f, 1<<16)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("trace: scan store: %w", err)
+		}
+		if len(line) > 0 && line[len(line)-1] != '\n' {
+			// Torn tail: a crash mid-append left an unterminated line.
+			// Truncate it away so the next append starts a clean line.
+			s.dropped++
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("trace: truncate torn tail: %w", terr)
+			}
+			break
+		}
+		if len(line) > 0 {
+			rec, derr := Decode(line)
+			if derr != nil || rec.ID == "" {
+				s.dropped++
+			} else {
+				s.index[rec.ID] = span{off: off, len: len(line)}
+				s.order = append(s.order, rec.ID)
+				if n, ok := parseSeq(rec.ID); ok && n > s.seq {
+					s.seq = n
+				}
+			}
+			off += int64(len(line))
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+	}
+	s.end = off
+	return nil
+}
+
+// parseSeq extracts the numeric part of a "t%06d" record ID.
+func parseSeq(id string) (int, bool) {
+	if !strings.HasPrefix(id, "t") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Append implements Store: the record is stamped with the next sequence ID
+// and the current wall time, encoded, and written as one line.
+func (s *FileStore) Append(rec Record) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return Record{}, fmt.Errorf("trace: store is closed")
+	}
+	stamped := rec.Stamp(fmt.Sprintf("t%06d", s.seq+1), s.now())
+	line, err := Encode(stamped)
+	if err != nil {
+		s.dropped++
+		return Record{}, err
+	}
+	if _, err := s.f.WriteAt(line, s.end); err != nil {
+		s.dropped++
+		return Record{}, fmt.Errorf("trace: append record: %w", err)
+	}
+	s.seq++
+	s.index[stamped.ID] = span{off: s.end, len: len(line)}
+	s.order = append(s.order, stamped.ID)
+	s.end += int64(len(line))
+	return stamped, nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id string) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(id)
+}
+
+func (s *FileStore) getLocked(id string) (Record, error) {
+	if s.f == nil {
+		return Record{}, fmt.Errorf("trace: store is closed")
+	}
+	sp, ok := s.index[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	buf := make([]byte, sp.len)
+	if _, err := s.f.ReadAt(buf, sp.off); err != nil {
+		return Record{}, fmt.Errorf("trace: read record %s: %w", id, err)
+	}
+	return Decode(buf)
+}
+
+// List implements Store: newest-first, optionally filtered by method.
+func (s *FileStore) List(opts ListOptions) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			break
+		}
+		rec, err := s.getLocked(s.order[i])
+		if err != nil {
+			return nil, err
+		}
+		if opts.Method != "" && !strings.EqualFold(opts.Method, rec.Method) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Stats implements Store. Safe on a nil store (all zeros).
+func (s *FileStore) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Records: len(s.order),
+		Dropped: s.dropped,
+		Bytes:   s.end,
+		Path:    s.path,
+	}
+}
+
+// Close flushes and closes the backing file; the store refuses further
+// appends and reads afterwards.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// --- memory store ---
+
+// MemStore is the in-memory Store: the same contract as FileStore without
+// persistence, for tests and embedded recording.
+type MemStore struct {
+	mu      sync.Mutex
+	records []Record
+	index   map[string]int
+	seq     int
+	now     func() time.Time
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{index: map[string]int{}, now: time.Now}
+}
+
+// Append implements Store.
+func (s *MemStore) Append(rec Record) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stamped := rec.Stamp(fmt.Sprintf("t%06d", s.seq+1), s.now())
+	s.seq++
+	s.index[stamped.ID] = len(s.records)
+	s.records = append(s.records, stamped)
+	return stamped, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id string) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s.records[i], nil
+}
+
+// List implements Store: newest-first.
+func (s *MemStore) List(opts ListOptions) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for i := len(s.records) - 1; i >= 0; i-- {
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			break
+		}
+		rec := s.records[i]
+		if opts.Method != "" && !strings.EqualFold(opts.Method, rec.Method) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Records: len(s.records)}
+}
+
+// Close implements Store (no-op).
+func (s *MemStore) Close() error { return nil }

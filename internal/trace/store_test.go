@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openTestStore builds a FileStore with a fixed clock.
+func openTestStore(t *testing.T, dir string) *FileStore {
+	t.Helper()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.now = func() time.Time { return time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC) }
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFileStoreAppendGetList(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	a, err := s.Append(Record{Question: "q1", Method: "ours", Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Append(Record{Question: "q2", Method: "rag", Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "t000001" || b.ID != "t000002" {
+		t.Fatalf("sequence IDs wrong: %q %q", a.ID, b.ID)
+	}
+	if a.Time == "" {
+		t.Fatal("append did not stamp wall time")
+	}
+
+	got, err := s.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Question != "q1" || got.Epoch != 1 {
+		t.Fatalf("get returned wrong record: %+v", got)
+	}
+	if _, err := s.Get("t999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing ID error = %v, want ErrNotFound", err)
+	}
+
+	all, err := s.List(ListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Question != "q2" || all[1].Question != "q1" {
+		t.Fatalf("list should be newest-first: %+v", all)
+	}
+	one, err := s.List(ListOptions{Limit: 1})
+	if err != nil || len(one) != 1 || one[0].Question != "q2" {
+		t.Fatalf("limited list wrong: %+v (%v)", one, err)
+	}
+	rag, err := s.List(ListOptions{Method: "RAG"})
+	if err != nil || len(rag) != 1 || rag[0].Question != "q2" {
+		t.Fatalf("method filter wrong: %+v (%v)", rag, err)
+	}
+
+	st := s.Stats()
+	if st.Records != 2 || st.Dropped != 0 || st.Bytes == 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestFileStoreReopenResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	if _, err := s.Append(Record{Question: "q1", Method: "ours"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Question: "q2", Method: "ours"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir)
+	c, err := s2.Append(Record{Question: "q3", Method: "ours"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "t000003" {
+		t.Fatalf("sequence did not resume: %q", c.ID)
+	}
+	all, err := s2.List(ListOptions{})
+	if err != nil || len(all) != 3 {
+		t.Fatalf("reopened store lost records: %d (%v)", len(all), err)
+	}
+}
+
+func TestFileStoreTornTailTruncatedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	full, err := s.Append(Record{Question: "intact", Method: "ours"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: half a record, no terminating newline.
+	path := filepath.Join(dir, traceFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"question":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, dir)
+	st := s2.Stats()
+	if st.Records != 1 || st.Dropped != 1 {
+		t.Fatalf("torn tail not dropped: %+v", st)
+	}
+	// The tail must be physically gone so the next append is a clean line.
+	next, err := s2.Append(Record{Question: "after-crash", Method: "ours"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "t000002" {
+		t.Fatalf("sequence wrong after torn-tail recovery: %q", next.ID)
+	}
+	if _, err := s2.Get(full.ID); err != nil {
+		t.Fatalf("intact record lost: %v", err)
+	}
+	got, err := s2.Get(next.ID)
+	if err != nil || got.Question != "after-crash" {
+		t.Fatalf("post-recovery append unreadable: %+v (%v)", got, err)
+	}
+}
+
+func TestFileStoreSkipsCorruptInteriorLine(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	if _, err := s.Append(Record{Question: "q1", Method: "ours"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, traceFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete-but-corrupt line followed by a good record.
+	if _, err := f.WriteString("CORRUPT LINE\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, _ := Encode(Record{ID: "t000009", Question: "q9", Method: "ours"})
+	if _, err := f.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, dir)
+	st := s2.Stats()
+	if st.Records != 2 || st.Dropped != 1 {
+		t.Fatalf("corrupt line handling wrong: %+v", st)
+	}
+	// Sequence resumes past the highest surviving ID.
+	next, err := s2.Append(Record{Question: "q10", Method: "ours"})
+	if err != nil || next.ID != "t000010" {
+		t.Fatalf("sequence wrong: %q (%v)", next.ID, err)
+	}
+}
+
+func TestFileStoreConcurrentAppendAndRead(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := s.Append(Record{Question: "q", Method: "ours"}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.List(ListOptions{Limit: 5}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Records != 160 || st.Dropped != 0 {
+		t.Fatalf("concurrent appends lost records: %+v", st)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	s := NewMemStore()
+	a, err := s.Append(Record{Question: "q1", Method: "ours"})
+	if err != nil || a.ID != "t000001" {
+		t.Fatalf("append: %+v (%v)", a, err)
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	got, err := s.Get(a.ID)
+	if err != nil || got.Question != "q1" {
+		t.Fatalf("get: %+v (%v)", got, err)
+	}
+	if st := s.Stats(); st.Records != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
