@@ -1,0 +1,189 @@
+// Command loadgen drives a running pgakvd server with traffic-realistic
+// load and writes the run as a BENCH perf-trajectory artifact.
+//
+// Question popularity is zipfian — a hot head exercising the answer
+// cache and singleflight, a long tail forcing real pipeline runs — and
+// the arrival model is selectable: closed-loop (-n requests across
+// -clients workers, each with one request outstanding; offered load
+// self-limits to server capacity) or open-loop (-rate arrivals/second
+// for -duration, regardless of server latency; queues grow when the
+// server falls behind).
+//
+// Usage:
+//
+//	loadgen [-url http://127.0.0.1:8080] [-method ours] [-model gpt3.5] [-kg wikidata]
+//	        [-clients 8] [-identities 0] [-zipf 1.3] [-seed 42]
+//	        [-n 200]                       closed loop (default)
+//	        [-rate 50 -duration 10s]       open loop
+//	        [-questions 64] [-timeout 30s] [-out BENCH_load.json]
+//
+// The question pool regenerates the server's deterministic synthetic
+// world from the same -seed and -quick scale and samples its dataset
+// suite, so every question is answerable by the target server and no
+// dataset files are needed. With -out set, the run is written as a
+// bench.PerfArtifact whose serving section is the server's /v1/metrics
+// snapshot and whose load section is the client-side account (accepted
+// vs refused latency kept separate). Committed under testdata/trajectory/
+// these artifacts chart how serving behaviour moves across PRs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "pgakvd base URL")
+	method := flag.String("method", "ours", "answer method")
+	model := flag.String("model", "gpt3.5", "model label")
+	kgSource := flag.String("kg", "wikidata", "KG source")
+	clients := flag.Int("clients", 8, "concurrent client workers (closed loop) / identity pool size")
+	identities := flag.Int("identities", 0, "spread requests across this many X-API-Key identities (0 = no key header)")
+	zipfS := flag.Float64("zipf", 1.3, "zipf skew exponent for question popularity (> 1)")
+	seed := flag.Int64("seed", 42, "sampling seed")
+	n := flag.Int("n", 200, "closed-loop total request count")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "open-loop run length")
+	nQuestions := flag.Int("questions", 64, "question pool size")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	out := flag.String("out", "", "write the run as a BENCH perf-trajectory artifact to this path")
+	quick := flag.Bool("quick", false, "build the question pool at the quick world scale (match the server's -quick flag) and mark the artifact accordingly")
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if err := run(ctx, config{
+		url: *url, method: *method, model: *model, kg: *kgSource,
+		clients: *clients, identities: *identities, zipfS: *zipfS, seed: *seed,
+		n: *n, rate: *rate, duration: *duration, nQuestions: *nQuestions,
+		timeout: *timeout, out: *out, quick: *quick,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	url, method, model, kg string
+	clients, identities    int
+	zipfS                  float64
+	seed                   int64
+	n                      int
+	rate                   float64
+	duration               time.Duration
+	nQuestions             int
+	timeout                time.Duration
+	out                    string
+	quick                  bool
+}
+
+func run(ctx context.Context, cfg config) error {
+	questions, err := questionPool(cfg.nQuestions, cfg.seed, cfg.quick)
+	if err != nil {
+		return err
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:    cfg.url,
+		Method:     cfg.method,
+		Model:      cfg.model,
+		KG:         cfg.kg,
+		Questions:  questions,
+		ZipfS:      cfg.zipfS,
+		Clients:    cfg.clients,
+		Identities: cfg.identities,
+		Requests:   cfg.n,
+		RatePerSec: cfg.rate,
+		Duration:   cfg.duration,
+		Timeout:    cfg.timeout,
+		Seed:       cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s loop: issued=%d ok=%d cache_hits=%d rejected=%d errors=%d in %v (%.1f req/s)\n",
+		res.Mode, res.Issued, res.OK, res.CacheHits, res.Rejected, res.Errors,
+		res.Elapsed.Round(time.Millisecond), res.AchievedRPS())
+	fmt.Printf("accepted: n=%d p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		res.Accepted.Count, res.Accepted.P50MS, res.Accepted.P95MS, res.Accepted.P99MS)
+	if res.Refused.Count > 0 {
+		fmt.Printf("refused:  n=%d p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			res.Refused.Count, res.Refused.P50MS, res.Refused.P95MS, res.Refused.P99MS)
+	}
+
+	if cfg.out == "" {
+		return nil
+	}
+	methods, err := scrapeMethods(ctx, cfg.url)
+	if err != nil {
+		return fmt.Errorf("scraping /v1/metrics: %w", err)
+	}
+	art := bench.BuildLoadPerf(methods, perfLoad(res), cfg.quick, cfg.seed, time.Now())
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := art.Write(f); err != nil {
+		return err
+	}
+	fmt.Println("perf-trajectory artifact written to", cfg.out)
+	return nil
+}
+
+// perfLoad converts the client-side result into the artifact section.
+func perfLoad(res loadgen.Result) bench.PerfLoad {
+	return bench.PerfLoad{
+		Mode:        res.Mode,
+		Clients:     res.Clients,
+		ZipfS:       res.ZipfS,
+		Issued:      res.Issued,
+		OK:          res.OK,
+		CacheHits:   res.CacheHits,
+		Rejected:    res.Rejected,
+		Errors:      res.Errors,
+		ElapsedMS:   res.Elapsed.Milliseconds(),
+		AchievedRPS: res.AchievedRPS(),
+		Accepted:    perfLatency(res.Accepted),
+		Refused:     perfLatency(res.Refused),
+	}
+}
+
+func perfLatency(s loadgen.LatencySummary) bench.PerfLoadLatency {
+	return bench.PerfLoadLatency{Count: s.Count, MeanMS: s.MeanMS, P50MS: s.P50MS, P95MS: s.P95MS, P99MS: s.P99MS}
+}
+
+// scrapeMethods pulls the server's per-method serving snapshot for the
+// artifact's serving section.
+func scrapeMethods(ctx context.Context, baseURL string) ([]serve.MethodSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/metrics returned %s", resp.Status)
+	}
+	var body struct {
+		Methods []serve.MethodSnapshot `json:"methods"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Methods, nil
+}

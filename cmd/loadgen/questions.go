@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/datasets"
+	"repro/internal/world"
+)
+
+// questionPool regenerates the server's synthetic world from the same
+// seed and scale and samples its dataset suite, so every question in the
+// pool is genuinely answerable by the target server — loadgen measures
+// serving behaviour, not a wall of invalid-query failures. The pool
+// order interleaves the datasets, and zipf sampling over it makes a few
+// questions hot (cache/singleflight territory) with a long cold tail.
+func questionPool(n int, seed int64, quick bool) ([]string, error) {
+	cfg := bench.DefaultEnvConfig()
+	if quick {
+		cfg = bench.QuickEnvConfig()
+	}
+	cfg.WorldSeed = seed
+	cfg.World.Seed = seed
+	w, err := world.Generate(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("regenerating world: %w", err)
+	}
+	suite, err := datasets.Build(w, cfg.Data)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding datasets: %w", err)
+	}
+	var pool []string
+	sets := suite.Datasets()
+	for i := 0; len(pool) < n; i++ {
+		advanced := false
+		for _, ds := range sets {
+			if i < len(ds.Questions) {
+				pool = append(pool, ds.Questions[i].Text)
+				advanced = true
+				if len(pool) == n {
+					break
+				}
+			}
+		}
+		if !advanced {
+			break // every dataset exhausted
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("dataset suite produced no questions")
+	}
+	if len(pool) < n {
+		fmt.Fprintf(os.Stderr, "loadgen: question pool capped at %d (suite size)\n", len(pool))
+	}
+	return pool, nil
+}

@@ -11,6 +11,8 @@
 //	       [-llm-concurrency 32] [-stage-timeout 0]
 //	       [-data-dir ""] [-fsync interval] [-checkpoint-interval 0]
 //	       [-trace-dir ""]
+//	       [-rate 0] [-burst 8] [-max-inflight 0] [-max-queue 32]
+//	       [-hedge-budget 0]
 //
 // Endpoints:
 //
@@ -38,6 +40,18 @@
 // queued batch work. Per-request token budgets ("token_budget") are
 // enforced by the answer registry independently of the scheduler, so
 // they hold even with -llm-concurrency 0.
+//
+// Traffic realism: POST /v1/answer with "Accept: text/event-stream"
+// streams the run as SSE — one "stage" event per completed pipeline stage,
+// then the final "answer" (or "error") event; disconnecting cancels the
+// run. -rate/-burst add per-client token-bucket rate limiting (keyed by
+// X-API-Key, else the remote address) and -max-inflight/-max-queue add
+// queue-depth load shedding: refused requests get a fast 429 with a
+// Retry-After header before any pipeline or LLM work. -hedge-budget
+// enables tail-latency retrieval hedging — a vector search exceeding the
+// budget races a duplicate and the first result wins. All of it is
+// observable in /v1/metrics (admission counters, queue depth, hedge
+// launches/wins). See docs/operations.md for overload tuning.
 //
 // Live ingest: each KG source is a versioned substrate — a sharded,
 // concurrently-searched vector index over a frozen base plus a delta of
@@ -93,6 +107,11 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "record every answered request as a JSONL trace under this directory (serves GET /v1/traces); empty = tracing off")
 	fsync := flag.String("fsync", "interval", "WAL sync policy: always (fsync per ingest), interval (background fsync, default), never (OS decides)")
 	checkpointInterval := flag.Duration("checkpoint-interval", 0, "write a checkpoint on this timer in addition to compactions and /v1/snapshot/checkpoint (0 = no timer)")
+	rate := flag.Float64("rate", 0, "per-client request rate limit on /v1/answer and /v1/batch, in requests/second keyed by X-API-Key or remote address (0 = no rate limiting)")
+	burst := flag.Int("burst", 8, "per-client token-bucket burst size (only meaningful with -rate > 0)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently served answer/batch requests; arrivals past it queue, then shed with a fast 429 (0 = unbounded)")
+	maxQueue := flag.Int("max-queue", 32, "max requests waiting for an in-flight slot before load shedding begins (only meaningful with -max-inflight > 0)")
+	hedgeBudget := flag.Duration("hedge-budget", 0, "retrieval tail-latency budget: a vector search exceeding it launches a hedged duplicate and the first result wins (0 = no hedging)")
 	flag.Parse()
 
 	fsyncPolicy, err := substrate.ParseSyncPolicy(*fsync)
@@ -110,13 +129,18 @@ func main() {
 			CheckpointInterval: *checkpointInterval,
 		},
 	}
-	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir); err != nil {
+	admission := serve.AdmissionConfig{
+		Limiter:     serve.LimiterConfig{Rate: *rate, Burst: *burst},
+		MaxInFlight: *maxInFlight,
+		MaxQueue:    *maxQueue,
+	}
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir, admission, *hedgeBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir string) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir string, admission serve.AdmissionConfig, hedgeBudget time.Duration) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -127,6 +151,7 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	cfg.Substrate = sub
 	cfg.LLMConcurrency = llmConcurrency
 	cfg.Core.StageTimeout = stageTimeout
+	cfg.Core.HedgeBudget = hedgeBudget
 	if traceDir != "" {
 		store, err := trace.NewFileStore(traceDir)
 		if err != nil {
@@ -157,9 +182,15 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 		}
 	}
 
+	server := NewServer(env, timeout)
+	if admission.Limiter.Rate > 0 || admission.MaxInFlight > 0 {
+		server.WithAdmission(serve.NewAdmission(admission))
+		fmt.Printf("admission control on: rate=%.1f/s burst=%d max-inflight=%d max-queue=%d\n",
+			admission.Limiter.Rate, admission.Limiter.Burst, admission.MaxInFlight, admission.MaxQueue)
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           NewServer(env, timeout).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, whose instrumentation inflates client-side latencies enough
+// to invalidate tight tail-latency assertions.
+const raceEnabled = true

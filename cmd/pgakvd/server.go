@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/answer"
@@ -44,6 +46,21 @@ import (
 // deadlines derived from the batch deadline so one slow item cannot starve
 // the rest. Oversized POST bodies are refused with 413.
 //
+// Admission control guards /v1/answer and /v1/batch when configured:
+// requests pass a per-client token bucket (keyed by X-API-Key, falling
+// back to the remote address) and a bounded in-flight/queue gate before
+// the body is even decoded, so an overloaded or abusive client costs a
+// fast 429 with a Retry-After header — never a pipeline run or an LLM
+// call. /v1/metrics reports the admitted/shed/limited counters and live
+// queue depth.
+//
+// Streaming: POST /v1/answer with "Accept: text/event-stream" serves the
+// run as SSE — one "stage" event per completed pipeline stage (emitted
+// live via the exec span observer), then a final "answer" event with the
+// normal response body, or an "error" event. A cache or singleflight hit
+// streams just the answer event. Disconnecting mid-stream cancels the
+// in-flight run through the request context.
+//
 // Ingest and compaction swap substrate snapshots atomically: queries in
 // flight keep the snapshot they resolved, new queries see the new epoch,
 // and the answer cache's epoch-scoped keys guarantee no pre-swap answer is
@@ -62,11 +79,60 @@ type Server struct {
 	// maxBody bounds every POST body; oversized requests get 413 before
 	// the decoder buffers them.
 	maxBody int64
+	// admit guards /v1/answer and /v1/batch with per-client rate limiting
+	// and queue-depth load shedding; nil admits everything.
+	admit *serve.Admission
 }
 
 // NewServer wraps an assembled bench environment.
 func NewServer(env *bench.Env, timeout time.Duration) *Server {
 	return &Server{env: env, timeout: timeout, maxBatch: 256, maxConcurrency: 32, maxIngest: 10000, maxBody: maxBodyBytes}
+}
+
+// WithAdmission installs the admission controller guarding the answer
+// routes and returns the server for chaining. nil leaves admission off.
+func (s *Server) WithAdmission(a *serve.Admission) *Server {
+	s.admit = a
+	return s
+}
+
+// clientID identifies the caller for per-client rate limiting: the
+// X-API-Key header when present, else the remote host (ports vary per
+// connection, so they are stripped — one laptop hammering the server is
+// one bucket, not one bucket per TCP connection).
+func clientID(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// admitRequest runs the request through the admission controller before
+// any body decoding or pipeline work. On refusal it writes the fast 429
+// (Retry-After header plus a JSON body whose class distinguishes
+// rate-limited from shed) and returns ok=false. The caller must invoke
+// release exactly once when the request finishes.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.admit.Admit(r.Context(), clientID(r))
+	if err == nil {
+		return release, true
+	}
+	var ref *serve.Refusal
+	if errors.As(err, &ref) {
+		class := "shed"
+		if errors.Is(err, serve.ErrRateLimited) {
+			class = "rate-limited"
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(serve.RetryAfterSeconds(ref.RetryAfter)))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Class: class})
+		return nil, false
+	}
+	// The client went away while queued for a slot.
+	writeJSON(w, 499, errorResponse{Error: err.Error(), Class: string(answer.ClassCanceled)})
+	return nil, false
 }
 
 // Handler builds the route table.
@@ -108,16 +174,19 @@ type answerRequest struct {
 }
 
 type answerResponse struct {
-	Answer           string     `json:"answer"`
-	Method           string     `json:"method"`
-	Model            string     `json:"model"`
-	KG               string     `json:"kg"`
-	Epoch            uint64     `json:"epoch,omitempty"`
-	LLMCalls         int        `json:"llm_calls"`
-	PromptTokens     int        `json:"prompt_tokens"`
-	CompletionTokens int        `json:"completion_tokens"`
-	ElapsedMS        int64      `json:"elapsed_ms"`
-	Trace            *traceWire `json:"trace,omitempty"`
+	Answer           string `json:"answer"`
+	Method           string `json:"method"`
+	Model            string `json:"model"`
+	KG               string `json:"kg"`
+	Epoch            uint64 `json:"epoch,omitempty"`
+	LLMCalls         int    `json:"llm_calls"`
+	PromptTokens     int    `json:"prompt_tokens"`
+	CompletionTokens int    `json:"completion_tokens"`
+	ElapsedMS        int64  `json:"elapsed_ms"`
+	// Cached marks an SSE answer event served from the answer cache (the
+	// JSON path reports the same through the X-Cache header instead).
+	Cached bool       `json:"cached,omitempty"`
+	Trace  *traceWire `json:"trace,omitempty"`
 }
 
 type traceWire struct {
@@ -200,6 +269,15 @@ type metricsResponse struct {
 	// unset).
 	Traces        trace.StoreStats `json:"traces"`
 	TracesEnabled bool             `json:"traces_enabled"`
+	// Admission reports the answer-route admission controller: admitted/
+	// shed/limited counters and the live in-flight and queue-depth gauges
+	// (zeros when admission is off).
+	Admission        serve.AdmissionStats `json:"admission"`
+	AdmissionEnabled bool                 `json:"admission_enabled"`
+	// Hedge reports tail-latency retrieval hedging (zeros when
+	// -hedge-budget is 0).
+	Hedge        core.HedgeStats `json:"hedge"`
+	HedgeEnabled bool            `json:"hedge_enabled"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -214,6 +292,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SchedulerEnabled: s.env.Scheduler != nil,
 		Traces:           s.env.TraceStats(),
 		TracesEnabled:    s.env.Cfg.Trace != nil,
+		Admission:        s.admit.Stats(),
+		AdmissionEnabled: s.admit != nil,
+		Hedge:            s.env.HedgeStats(),
+		HedgeEnabled:     s.env.Cfg.Core.HedgeBudget > 0,
 	}
 	if resp.Methods == nil {
 		resp.Methods = []serve.MethodSnapshot{}
@@ -355,6 +437,11 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any, allow
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req answerRequest
 	if !s.decodeBody(w, r, &req, false) {
 		return
@@ -394,6 +481,10 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if req.TokenBudget > 0 {
 		q.Overrides.TokenBudget = &req.TokenBudget
 	}
+	if wantsSSE(r) {
+		s.streamAnswer(w, ctx, ans, q, src, req.IncludeTrace)
+		return
+	}
 	ctx, info := serve.Attach(ctx)
 	res, err := ans.Answer(ctx, q)
 	if err != nil {
@@ -415,7 +506,75 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toWire(res, src, req.IncludeTrace))
 }
 
+// wantsSSE reports whether the client asked for a streamed answer.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// sseWriter frames server-sent events over a flushed ResponseWriter.
+// Methods may drive stage graphs from worker goroutines (sampling runs),
+// so every event write is serialized under the mutex.
+type sseWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	f  http.Flusher
+}
+
+func (s *sseWriter) event(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data)
+	s.f.Flush()
+}
+
+// streamAnswer serves one answer as SSE: a "stage" event per completed
+// pipeline stage — emitted live through the exec span observer while the
+// run is still in flight — then a terminal "answer" or "error" event.
+// Cache and singleflight hits execute no stages of their own, so they
+// stream a single answer event. A client that disconnects mid-stream
+// cancels ctx and with it the in-flight run; the terminal error event is
+// then written to a dead connection and dropped, but the run's "canceled"
+// class still lands in /v1/metrics through the serving stack.
+func (s *Server) streamAnswer(w http.ResponseWriter, ctx context.Context, ans answer.Answerer, q answer.Query, src kg.Source, includeTrace bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("streaming is unsupported by this connection"), answer.ClassInvalidQuery)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	out := &sseWriter{w: w, f: flusher}
+
+	ctx = exec.WithSpanObserver(ctx, func(sp exec.Span) {
+		out.event("stage", stageWires([]exec.Span{sp})[0])
+	})
+	ctx, info := serve.Attach(ctx)
+	res, err := ans.Answer(ctx, q)
+	if err != nil {
+		resp := errorResponse{Error: err.Error(), Class: string(answer.Classify(err))}
+		if includeTrace && res.Trace != nil {
+			resp.Stages = stageWires(res.Trace.Stages)
+		}
+		out.event("error", resp)
+		return
+	}
+	wire := toWire(res, src, includeTrace)
+	wire.Cached = info.CacheHit
+	out.event("answer", wire)
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req batchRequest
 	if !s.decodeBody(w, r, &req, false) {
 		return

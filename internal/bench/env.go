@@ -191,6 +191,12 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		// KG sources can share it.
 		cfg.Core.Memo = core.NewMemo(enc, 0)
 	}
+	if cfg.Core.HedgeBudget > 0 && cfg.Core.HedgeCounters == nil {
+		// One hedge counter set for the whole environment, mirroring the
+		// Memo: every pipeline across models and sources reports into it,
+		// so /v1/metrics sees process-wide tail-latency hedging.
+		cfg.Core.HedgeCounters = core.NewHedge()
+	}
 	return &Env{
 		Cfg:        cfg,
 		World:      w,
@@ -342,6 +348,10 @@ func (e *Env) TraceStats() trace.StoreStats {
 
 // MemoStats reports the environment-wide embedding memo counters.
 func (e *Env) MemoStats() core.MemoStats { return e.Cfg.Core.Memo.Stats() }
+
+// HedgeStats reports the environment-wide hedged-retrieval counters
+// (zeros when Core.HedgeBudget is unset).
+func (e *Env) HedgeStats() core.HedgeStats { return e.Cfg.Core.HedgeCounters.Stats() }
 
 // Cell is one (method, model, dataset, source) evaluation result.
 type Cell struct {

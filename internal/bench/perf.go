@@ -26,6 +26,58 @@ type PerfArtifact struct {
 	// environment answered this run: token cost and wall latency
 	// percentiles.
 	Serving []PerfMethod `json:"serving"`
+	// Load, when present, is the client-side account of a loadgen run
+	// against a live server — the traffic-realistic counterpart to the
+	// bench cells (cmd/loadgen emits these; benchrun artifacts omit it).
+	Load *PerfLoad `json:"load,omitempty"`
+}
+
+// PerfLoad is one load-generation run's client-side summary: what was
+// offered, what was served, what was refused, and the two latency
+// populations kept apart (a healthy overload posture shows Refused far
+// below Accepted).
+type PerfLoad struct {
+	Mode        string          `json:"mode"` // "closed" or "open"
+	Clients     int             `json:"clients"`
+	ZipfS       float64         `json:"zipf_s"`
+	Issued      int64           `json:"issued"`
+	OK          int64           `json:"ok"`
+	CacheHits   int64           `json:"cache_hits"`
+	Rejected    int64           `json:"rejected"`
+	Errors      int64           `json:"errors"`
+	ElapsedMS   int64           `json:"elapsed_ms"`
+	AchievedRPS float64         `json:"achieved_rps"`
+	Accepted    PerfLoadLatency `json:"accepted"`
+	Refused     PerfLoadLatency `json:"refused"`
+}
+
+// PerfLoadLatency is a client-observed latency distribution.
+type PerfLoadLatency struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// BuildLoadPerf assembles a perf artifact from a loadgen run: the serving
+// section comes from the target server's scraped /v1/metrics method
+// snapshots (the server did the work, so it owns the cost numbers), the
+// load section from the client-side account. Cells stay empty — no
+// accuracy was evaluated.
+func BuildLoadPerf(methods []serve.MethodSnapshot, load PerfLoad, quick bool, seed int64, now time.Time) PerfArtifact {
+	art := PerfArtifact{
+		GeneratedAt: now.UTC().Format(time.RFC3339),
+		Quick:       quick,
+		Seed:        seed,
+		Cells:       []PerfCell{},
+		Serving:     []PerfMethod{},
+		Load:        &load,
+	}
+	for _, m := range methods {
+		art.Serving = append(art.Serving, perfMethod(m))
+	}
+	return art
 }
 
 // PerfCell is one accuracy cell.

@@ -84,6 +84,41 @@ type Stage[S any] struct {
 // usage per span.
 type UsageFunc func() (calls, promptTokens, completionTokens int)
 
+// SpanObserver receives each span as its stage completes — success or
+// failure — before the next stage starts. Attach one to the request
+// context with WithSpanObserver; streaming front doors (SSE progress on
+// /v1/answer) use it to emit per-stage events while the run is still in
+// flight. The observer is called synchronously on the run's goroutine
+// with a copy of the span, so implementations must be fast or hand off
+// to a channel; a slow observer delays the composition itself.
+type SpanObserver func(Span)
+
+type observerKey struct{}
+
+// WithSpanObserver attaches a per-stage span observer to the context.
+// It composes with any observer already attached (both are called, outer
+// last), so middleware layers can observe without clobbering the caller.
+func WithSpanObserver(ctx context.Context, fn SpanObserver) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	if prev := ObserverFrom(ctx); prev != nil {
+		inner := prev
+		outer := fn
+		fn = func(sp Span) {
+			inner(sp)
+			outer(sp)
+		}
+	}
+	return context.WithValue(ctx, observerKey{}, fn)
+}
+
+// ObserverFrom returns the context's span observer, nil when none.
+func ObserverFrom(ctx context.Context) SpanObserver {
+	fn, _ := ctx.Value(observerKey{}).(SpanObserver)
+	return fn
+}
+
 // Options configure one Run.
 type Options struct {
 	// DefaultTimeout applies to stages that set no Timeout of their own.
@@ -111,6 +146,7 @@ func (e *StageError) Unwrap() error { return e.Err }
 // context.DeadlineExceeded even when the caller's context is still live.
 func Run[S any](ctx context.Context, state *S, o Options, stages ...Stage[S]) ([]Span, error) {
 	spans := make([]Span, 0, len(stages))
+	observe := ObserverFrom(ctx)
 	runStart := time.Now()
 	for _, st := range stages {
 		span := Span{Stage: st.Name, Offset: time.Since(runStart)}
@@ -152,9 +188,15 @@ func Run[S any](ctx context.Context, state *S, o Options, stages ...Stage[S]) ([
 		if err != nil {
 			span.Err = Classify(err)
 			spans = append(spans, span)
+			if observe != nil {
+				observe(span)
+			}
 			return spans, &StageError{Stage: st.Name, Err: err}
 		}
 		spans = append(spans, span)
+		if observe != nil {
+			observe(span)
+		}
 	}
 	return spans, nil
 }

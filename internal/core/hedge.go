@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/vecstore"
+)
+
+// Hedge holds the shared counters of hedged retrieval. One Hedge is
+// shared across every pipeline of an environment (like the embedding
+// Memo), so /v1/metrics reports tail-latency hedging for the whole
+// process. Safe for concurrent use.
+type Hedge struct {
+	searches atomic.Int64
+	hedged   atomic.Int64
+	wins     atomic.Int64
+}
+
+// NewHedge returns zeroed hedge counters.
+func NewHedge() *Hedge { return &Hedge{} }
+
+// HedgeStats is a point-in-time hedging snapshot.
+type HedgeStats struct {
+	// Searches counts retrieval calls that went through the hedged path.
+	Searches int64 `json:"searches"`
+	// Hedged counts searches whose primary exceeded the latency budget,
+	// causing a hedge launch.
+	Hedged int64 `json:"hedged"`
+	// HedgeWins counts hedged searches where the hedge finished first.
+	HedgeWins int64 `json:"hedge_wins"`
+}
+
+// Stats snapshots the counters. Safe on nil (all zeros).
+func (h *Hedge) Stats() HedgeStats {
+	if h == nil {
+		return HedgeStats{}
+	}
+	return HedgeStats{
+		Searches:  h.searches.Load(),
+		Hedged:    h.hedged.Load(),
+		HedgeWins: h.wins.Load(),
+	}
+}
+
+// HedgedSearcher wraps a Searcher with tail-latency hedging on the
+// pipeline's retrieval paths (Search, BatchSearch, BatchSearchWith): when
+// the primary search has not returned within the budget, an identical
+// hedge search is launched and the first result wins. Both runs scan the
+// same immutable snapshot, so either result is correct; the loser's
+// goroutine finishes in the background and is dropped. Hedging converts
+// a stalled search — a descheduled thread, a page-cache miss, one slow
+// shard — into one extra scan's worth of work instead of a tail-latency
+// outlier. Counters accumulate in the shared Hedge.
+func HedgedSearcher(inner vecstore.Searcher, budget time.Duration, h *Hedge) vecstore.Searcher {
+	if budget <= 0 {
+		return inner
+	}
+	if h == nil {
+		h = NewHedge()
+	}
+	return &hedgedSearcher{inner: inner, budget: budget, stats: h}
+}
+
+type hedgedSearcher struct {
+	inner  vecstore.Searcher
+	budget time.Duration
+	stats  *Hedge
+}
+
+// hedge runs fn with the hedging policy and returns the first result.
+func hedge[T any](s *hedgedSearcher, fn func() T) T {
+	s.stats.searches.Add(1)
+	primary := make(chan T, 1)
+	go func() { primary <- fn() }()
+	timer := time.NewTimer(s.budget)
+	defer timer.Stop()
+	select {
+	case out := <-primary:
+		return out
+	case <-timer.C:
+	}
+	s.stats.hedged.Add(1)
+	secondary := make(chan T, 1)
+	go func() { secondary <- fn() }()
+	select {
+	case out := <-primary:
+		return out
+	case out := <-secondary:
+		s.stats.wins.Add(1)
+		return out
+	}
+}
+
+// Len implements vecstore.Searcher.
+func (s *hedgedSearcher) Len() int { return s.inner.Len() }
+
+// Encoder implements vecstore.Searcher.
+func (s *hedgedSearcher) Encoder() *embed.Encoder { return s.inner.Encoder() }
+
+// Search implements vecstore.Searcher with hedging.
+func (s *hedgedSearcher) Search(query string, k int) []vecstore.Hit {
+	return hedge(s, func() []vecstore.Hit { return s.inner.Search(query, k) })
+}
+
+// SearchExact implements vecstore.Searcher (un-hedged: the exact scan is
+// the correctness reference, not a serving path).
+func (s *hedgedSearcher) SearchExact(query string, k int) []vecstore.Hit {
+	return s.inner.SearchExact(query, k)
+}
+
+// SearchVector implements vecstore.Searcher.
+func (s *hedgedSearcher) SearchVector(qv embed.Vector, k int) []vecstore.Hit {
+	return s.inner.SearchVector(qv, k)
+}
+
+// SearchPreEncoded implements vecstore.Searcher.
+func (s *hedgedSearcher) SearchPreEncoded(query string, qv embed.Vector, k int) []vecstore.Hit {
+	return s.inner.SearchPreEncoded(query, qv, k)
+}
+
+// BatchSearch implements vecstore.Searcher with hedging around the whole
+// batch.
+func (s *hedgedSearcher) BatchSearch(queries []string, k int) [][]vecstore.Hit {
+	return hedge(s, func() [][]vecstore.Hit { return s.inner.BatchSearch(queries, k) })
+}
+
+// BatchSearchWith implements vecstore.Searcher with hedging around the
+// whole batch — the pipeline's semantic-query path. encode must be safe
+// for concurrent use (the Memo is), since primary and hedge may overlap.
+func (s *hedgedSearcher) BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]vecstore.Hit {
+	return hedge(s, func() [][]vecstore.Hit { return s.inner.BatchSearchWith(encode, queries, k) })
+}
+
+// Stats implements vecstore.Searcher.
+func (s *hedgedSearcher) Stats() vecstore.Stats { return s.inner.Stats() }

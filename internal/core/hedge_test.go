@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/vecstore"
+)
+
+// stallSearcher is a Searcher whose batch searches block for a
+// controllable per-call delay: the first call stalls, later calls are
+// instant — the shape that forces a hedge launch and lets the hedge win.
+type stallSearcher struct {
+	enc   *embed.Encoder
+	hits  [][]vecstore.Hit
+	calls atomic.Int64
+	// firstDelay stalls only the first call; subsequent calls return
+	// immediately.
+	firstDelay time.Duration
+}
+
+func (s *stallSearcher) delay() {
+	if s.calls.Add(1) == 1 && s.firstDelay > 0 {
+		time.Sleep(s.firstDelay)
+	}
+}
+
+func (s *stallSearcher) Len() int                { return 1 }
+func (s *stallSearcher) Encoder() *embed.Encoder { return s.enc }
+func (s *stallSearcher) Search(q string, k int) []vecstore.Hit {
+	s.delay()
+	return s.hits[0]
+}
+func (s *stallSearcher) SearchExact(q string, k int) []vecstore.Hit { return s.hits[0] }
+func (s *stallSearcher) SearchVector(v embed.Vector, k int) []vecstore.Hit {
+	return s.hits[0]
+}
+func (s *stallSearcher) SearchPreEncoded(q string, v embed.Vector, k int) []vecstore.Hit {
+	return s.hits[0]
+}
+func (s *stallSearcher) BatchSearch(qs []string, k int) [][]vecstore.Hit {
+	s.delay()
+	return s.hits
+}
+func (s *stallSearcher) BatchSearchWith(enc func(string) embed.Vector, qs []string, k int) [][]vecstore.Hit {
+	s.delay()
+	return s.hits
+}
+func (s *stallSearcher) Stats() vecstore.Stats { return vecstore.Stats{Triples: 1, Shards: 1} }
+
+func newStallSearcher(firstDelay time.Duration) *stallSearcher {
+	return &stallSearcher{
+		enc:        embed.NewEncoder(),
+		firstDelay: firstDelay,
+		hits: [][]vecstore.Hit{{
+			{Triple: kg.NewTriple("Ada", "born in", "London"), Score: 0.9},
+		}},
+	}
+}
+
+func TestHedgedSearcherFastPrimaryNeverHedges(t *testing.T) {
+	inner := newStallSearcher(0)
+	h := NewHedge()
+	s := HedgedSearcher(inner, time.Second, h)
+	out := s.BatchSearchWith(inner.enc.Encode, []string{"Ada born in"}, 3)
+	if len(out) != 1 || len(out[0]) != 1 {
+		t.Fatalf("unexpected result shape: %v", out)
+	}
+	st := h.Stats()
+	if st.Searches != 1 || st.Hedged != 0 || st.HedgeWins != 0 {
+		t.Fatalf("stats = %+v, want searches=1 hedged=0 wins=0", st)
+	}
+}
+
+func TestHedgedSearcherSlowPrimaryLaunchesWinningHedge(t *testing.T) {
+	// Primary stalls for far longer than the budget; the hedge (second
+	// call, instant) must win, and the result must be identical to what
+	// the primary would have returned.
+	inner := newStallSearcher(2 * time.Second)
+	h := NewHedge()
+	s := HedgedSearcher(inner, 10*time.Millisecond, h)
+	start := time.Now()
+	out := s.BatchSearchWith(inner.enc.Encode, []string{"Ada born in"}, 3)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged search took %v — the stalled primary was waited on", elapsed)
+	}
+	if len(out) != 1 || out[0][0].Triple.Subject != "Ada" {
+		t.Fatalf("unexpected result: %v", out)
+	}
+	st := h.Stats()
+	if st.Searches != 1 || st.Hedged != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want searches=1 hedged=1 wins=1", st)
+	}
+}
+
+func TestHedgedSearcherZeroBudgetIsInner(t *testing.T) {
+	inner := newStallSearcher(0)
+	if s := HedgedSearcher(inner, 0, nil); s != vecstore.Searcher(inner) {
+		t.Fatal("zero budget should return the inner searcher unwrapped")
+	}
+}
+
+func TestPipelineWiresHedging(t *testing.T) {
+	store, idx := testStore(t)
+	h := NewHedge()
+	cfg := DefaultConfig()
+	cfg.HedgeBudget = time.Second
+	cfg.HedgeCounters = h
+	p, err := New(&fakeClient{}, store, idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := &kg.Graph{}
+	gp.Add(kg.NewTriple("China", "capital", "?"))
+	p.QueryAndPrune(gp, nil)
+	if st := p.HedgeStats(); st.Searches != 1 {
+		t.Fatalf("pipeline retrieval did not route through the hedged path: %+v", st)
+	}
+}

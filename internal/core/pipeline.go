@@ -101,6 +101,16 @@ type Config struct {
 	// caller's context applies). A stage that exceeds it fails with a
 	// deadline error attributed to that stage in the trace spans.
 	StageTimeout time.Duration
+	// HedgeBudget enables tail-latency hedging on the semantic-query
+	// step: when the primary vecstore search has not returned within the
+	// budget, an identical hedge is launched and the first result wins
+	// (0 = no hedging).
+	HedgeBudget time.Duration
+	// HedgeCounters optionally shares hedging counters across pipelines
+	// (see NewHedge); nil with hedging enabled gives each pipeline its
+	// own. Callers that rebuild pipelines per request (the answer
+	// registry) must share one or /v1/metrics sees only the last run.
+	HedgeCounters *Hedge
 }
 
 // DefaultConfig returns the paper's settings.
@@ -153,6 +163,12 @@ func New(client llm.Client, store kg.Reader, index vecstore.Searcher, cfg Config
 	memo := cfg.Memo
 	if memo == nil {
 		memo = NewMemo(index.Encoder(), 0)
+	}
+	if cfg.HedgeBudget > 0 {
+		if cfg.HedgeCounters == nil {
+			cfg.HedgeCounters = NewHedge()
+		}
+		index = HedgedSearcher(index, cfg.HedgeBudget, cfg.HedgeCounters)
 	}
 	return &Pipeline{
 		client: client,
@@ -620,3 +636,7 @@ func (p *Pipeline) Encoder() *embed.Encoder { return p.index.Encoder() }
 
 // MemoStats reports the embedding memo's hit/miss counters.
 func (p *Pipeline) MemoStats() MemoStats { return p.memo.Stats() }
+
+// HedgeStats reports the hedged-retrieval counters (zeros when hedging
+// is off).
+func (p *Pipeline) HedgeStats() HedgeStats { return p.cfg.HedgeCounters.Stats() }
