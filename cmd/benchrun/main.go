@@ -22,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1|fig2|table2|table3|table4|table5|sweeps|all")
+		"which experiment to run: table1|fig2|table2|table3|table4|table5|scenarios|sweeps|all")
 	quick := flag.Bool("quick", false, "use the small test-scale environment")
 	seed := flag.Int64("seed", 42, "world/model seed")
 	workers := flag.Int("workers", 8, "evaluation parallelism")
@@ -80,6 +80,8 @@ func run(ctx context.Context, experiment string, quick bool, seed int64, workers
 			err = bench.Table4(ctx, env, out)
 		case "table5":
 			err = bench.Table5(ctx, env, out)
+		case "scenarios":
+			err = bench.Scenarios(ctx, env, out)
 		case "sweeps":
 			err = bench.Sweeps(ctx, env, out)
 		default:
@@ -93,7 +95,7 @@ func run(ctx context.Context, experiment string, quick bool, seed int64, workers
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "fig2", "table2", "table3", "table4", "table5"} {
+		for _, name := range []string{"table1", "fig2", "table2", "table3", "table4", "table5", "scenarios"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
@@ -124,9 +126,9 @@ func run(ctx context.Context, experiment string, quick bool, seed int64, workers
 	return nil
 }
 
-// collectTable2Report re-runs every Table II cell through the Report
-// collector (cells are cheap; the environment is already warm) for the
-// machine-readable outputs.
+// collectTable2Report re-runs every Table II cell plus the scenario-pack
+// cells through the Report collector (cells are cheap; the environment is
+// already warm) for the machine-readable outputs.
 func collectTable2Report(ctx context.Context, env *bench.Env) (*bench.Report, error) {
 	r := &bench.Report{Title: "table2"}
 	for _, model := range []string{bench.ModelGPT35, bench.ModelGPT4} {
@@ -138,6 +140,15 @@ func collectTable2Report(ctx context.Context, env *bench.Env) (*bench.Report, er
 				if err := r.Collect(ctx, env, method, model, ds); err != nil {
 					return nil, err
 				}
+			}
+		}
+	}
+	// Scenario-pack cells: the parametric/graph method split over the four
+	// stress sets, GPT-3.5 grade (mirrors bench.Scenarios).
+	for _, method := range []string{bench.MethodIO, bench.MethodCoT, bench.MethodRAG, bench.MethodOurs} {
+		for _, ds := range []string{"TemporalQuestions", "AggregationQuestions", "AdversarialQuestions", "NoisyQuestions"} {
+			if err := r.Collect(ctx, env, method, bench.ModelGPT35, ds); err != nil {
+				return nil, err
 			}
 		}
 	}

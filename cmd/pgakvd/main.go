@@ -10,7 +10,7 @@
 //	       [-shard-size 4096] [-compact-threshold 0]
 //	       [-llm-concurrency 32] [-stage-timeout 0]
 //	       [-data-dir ""] [-fsync interval] [-checkpoint-interval 0]
-//	       [-trace-dir ""]
+//	       [-trace-dir ""] [-prompt-dir ""]
 //	       [-rate 0] [-burst 8] [-max-inflight 0] [-max-queue 32]
 //	       [-hedge-budget 0]
 //
@@ -18,7 +18,9 @@
 //
 //	GET  /healthz
 //	GET  /v1/methods
-//	GET  /v1/metrics              per-method counters/latency + cache, dedup and substrate stats
+//	GET  /v1/metrics              per-method counters/latency + cache, dedup, substrate and prompt stats
+//	GET  /v1/prompts              loaded prompt versions (active set, candidates, sources)
+//	POST /v1/prompts/reload       re-read -prompt-dir and swap the prompt set atomically
 //	GET  /v1/traces               recent recorded request traces (-trace-dir servers)
 //	GET  /v1/traces/{id}          one full trace record
 //	POST /v1/answer               {"question": "...", "method": "ours", "model": "gpt4"}
@@ -40,6 +42,18 @@
 // queued batch work. Per-request token budgets ("token_budget") are
 // enforced by the answer registry independently of the scheduler, so
 // they hold even with -llm-concurrency 0.
+//
+// Prompts: every template the methods render is a versioned .prompt file.
+// The embedded defaults always load; -prompt-dir overlays operator files
+// on top (same name+version replaces, new versions add). SIGHUP or POST
+// /v1/prompts/reload re-reads the directory and swaps the whole set
+// atomically — an invalid file rejects the reload and the current set
+// keeps serving. Answer-cache keys are scoped by the active prompt
+// fingerprint, so a reload that changes any active version invalidates
+// every cached answer rendered under the old set. Per-request A/B:
+// "prompt_versions": {"answer-graph": "2"} in an answer or batch query
+// pins specific versions for that request only (candidate versions are
+// loaded but never active by default). See docs/operations.md.
 //
 // Traffic realism: POST /v1/answer with "Accept: text/event-stream"
 // streams the run as SSE — one "stage" event per completed pipeline stage,
@@ -86,6 +100,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/prompts"
 	"repro/internal/serve"
 	"repro/internal/substrate"
 	"repro/internal/trace"
@@ -105,6 +120,7 @@ func main() {
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage deadline inside every method run (0 = only the request timeout applies)")
 	dataDir := flag.String("data-dir", "", "persist ingested triples under this directory (WAL + checkpoints, one subdirectory per KG source); empty = memory-only, a restart drops post-boot facts")
 	traceDir := flag.String("trace-dir", "", "record every answered request as a JSONL trace under this directory (serves GET /v1/traces); empty = tracing off")
+	promptDir := flag.String("prompt-dir", "", "overlay .prompt files from this directory on the embedded defaults; SIGHUP or POST /v1/prompts/reload re-reads it (empty = embedded prompts only)")
 	fsync := flag.String("fsync", "interval", "WAL sync policy: always (fsync per ingest), interval (background fsync, default), never (OS decides)")
 	checkpointInterval := flag.Duration("checkpoint-interval", 0, "write a checkpoint on this timer in addition to compactions and /v1/snapshot/checkpoint (0 = no timer)")
 	rate := flag.Float64("rate", 0, "per-client request rate limit on /v1/answer and /v1/batch, in requests/second keyed by X-API-Key or remote address (0 = no rate limiting)")
@@ -134,13 +150,13 @@ func main() {
 		MaxInFlight: *maxInFlight,
 		MaxQueue:    *maxQueue,
 	}
-	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir, admission, *hedgeBudget); err != nil {
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir, *promptDir, admission, *hedgeBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir string, admission serve.AdmissionConfig, hedgeBudget time.Duration) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir, promptDir string, admission serve.AdmissionConfig, hedgeBudget time.Duration) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -152,6 +168,14 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	cfg.LLMConcurrency = llmConcurrency
 	cfg.Core.StageTimeout = stageTimeout
 	cfg.Core.HedgeBudget = hedgeBudget
+	reg := prompts.NewRegistry()
+	if promptDir != "" {
+		if err := reg.LoadDir(promptDir); err != nil {
+			return fmt.Errorf("loading prompts: %w", err)
+		}
+	}
+	cfg.Prompts = reg
+	fmt.Printf("prompts active: %s\n", reg.Fingerprint())
 	if traceDir != "" {
 		store, err := trace.NewFileStore(traceDir)
 		if err != nil {
@@ -202,16 +226,29 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case sig := <-stop:
-		fmt.Printf("received %v, draining...\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errCh:
 			return err
+		case <-hup:
+			// Hot reload: re-read -prompt-dir and swap the prompt set
+			// atomically. A bad file rejects the whole reload — the set that
+			// was serving keeps serving.
+			if err := env.Prompts.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "pgakvd: prompt reload failed, keeping current set: %v\n", err)
+			} else {
+				fmt.Printf("prompts reloaded: %s\n", env.Prompts.Fingerprint())
+			}
+		case sig := <-stop:
+			fmt.Printf("received %v, draining...\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
 		}
-		return nil
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core/exec"
 	"repro/internal/kg"
 	"repro/internal/llm"
+	"repro/internal/prompts"
 	"repro/internal/serve"
 	"repro/internal/substrate"
 	"repro/internal/trace"
@@ -141,6 +142,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/prompts", s.handlePrompts)
+	mux.HandleFunc("POST /v1/prompts/reload", s.handlePromptsReload)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
@@ -159,6 +162,10 @@ type queryItem struct {
 	Question string   `json:"question"`
 	Open     bool     `json:"open,omitempty"`
 	Anchors  []string `json:"anchors,omitempty"`
+	// PromptVersions pins specific prompt versions for this query only
+	// (A/B testing), e.g. {"answer-graph": "2"}. Unknown names or
+	// versions fail the request with class "invalid-query".
+	PromptVersions map[string]string `json:"prompt_versions,omitempty"`
 }
 
 type answerRequest struct {
@@ -183,6 +190,9 @@ type answerResponse struct {
 	PromptTokens     int    `json:"prompt_tokens"`
 	CompletionTokens int    `json:"completion_tokens"`
 	ElapsedMS        int64  `json:"elapsed_ms"`
+	// PromptVersions are the exact prompt versions this run rendered
+	// with — the observable half of a "prompt_versions" A/B override.
+	PromptVersions map[string]string `json:"prompt_versions,omitempty"`
 	// Cached marks an SSE answer event served from the answer cache (the
 	// JSON path reports the same through the X-Cache header instead).
 	Cached bool       `json:"cached,omitempty"`
@@ -278,6 +288,17 @@ type metricsResponse struct {
 	// -hedge-budget is 0).
 	Hedge        core.HedgeStats `json:"hedge"`
 	HedgeEnabled bool            `json:"hedge_enabled"`
+	// Prompts reports the active prompt-version set serving requests —
+	// the same fingerprint that scopes answer-cache keys, so a reload
+	// that changed it is immediately visible here.
+	Prompts promptsStatus `json:"prompts"`
+}
+
+// promptsStatus is the /v1/metrics prompt summary: active versions only
+// (GET /v1/prompts lists every loaded version including candidates).
+type promptsStatus struct {
+	Fingerprint string            `json:"fingerprint"`
+	Versions    map[string]string `json:"versions"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -296,11 +317,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		AdmissionEnabled: s.admit != nil,
 		Hedge:            s.env.HedgeStats(),
 		HedgeEnabled:     s.env.Cfg.Core.HedgeBudget > 0,
+		Prompts: promptsStatus{
+			Fingerprint: s.env.Prompts.Fingerprint(),
+			Versions:    s.env.Prompts.View().Versions(),
+		},
 	}
 	if resp.Methods == nil {
 		resp.Methods = []serve.MethodSnapshot{}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- prompt-registry handlers ---
+
+// promptsResponse is the GET /v1/prompts (and reload) body: every loaded
+// prompt version with its task, candidate flag, active marker and source,
+// plus the active-set fingerprint and the overlay directory.
+type promptsResponse struct {
+	Fingerprint string         `json:"fingerprint"`
+	Dir         string         `json:"dir,omitempty"`
+	Prompts     []prompts.Info `json:"prompts"`
+}
+
+func (s *Server) promptsWire() promptsResponse {
+	reg := s.env.Prompts
+	return promptsResponse{Fingerprint: reg.Fingerprint(), Dir: reg.Dir(), Prompts: reg.List()}
+}
+
+func (s *Server) handlePrompts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.promptsWire())
+}
+
+// handlePromptsReload re-reads the -prompt-dir overlay and swaps the
+// prompt set atomically; an invalid file rejects the whole reload with
+// 422 and the current set keeps serving. The response is the post-reload
+// state, so the caller can diff fingerprints to see whether anything
+// actually changed.
+func (s *Server) handlePromptsReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.env.Prompts.Reload(); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: fmt.Sprintf("prompt reload rejected, current set keeps serving: %v", err),
+			Class: "invalid-prompts",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.promptsWire())
 }
 
 // --- trace-store handlers ---
@@ -472,11 +533,12 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	q := answer.Query{
-		Text:    req.Question,
-		Method:  ans.Name(),
-		Model:   model,
-		Open:    req.Open,
-		Anchors: req.Anchors,
+		Text:           req.Question,
+		Method:         ans.Name(),
+		Model:          model,
+		Open:           req.Open,
+		Anchors:        req.Anchors,
+		PromptVersions: req.PromptVersions,
 	}
 	if req.TokenBudget > 0 {
 		q.Overrides.TokenBudget = &req.TokenBudget
@@ -625,11 +687,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	queries := make([]answer.Query, len(req.Queries))
 	for i, q := range req.Queries {
 		queries[i] = answer.Query{
-			Text:    q.Question,
-			Method:  ans.Name(),
-			Model:   model,
-			Open:    q.Open,
-			Anchors: q.Anchors,
+			Text:           q.Question,
+			Method:         ans.Name(),
+			Model:          model,
+			Open:           q.Open,
+			Anchors:        q.Anchors,
+			PromptVersions: q.PromptVersions,
 		}
 	}
 	start := time.Now()
@@ -879,6 +942,7 @@ func toWire(res answer.Result, src kg.Source, includeTrace bool) answerResponse 
 		PromptTokens:     res.PromptTokens,
 		CompletionTokens: res.CompletionTokens,
 		ElapsedMS:        res.Elapsed.Milliseconds(),
+		PromptVersions:   res.PromptVersions,
 	}
 	if includeTrace && res.Trace != nil {
 		tw := &traceWire{}

@@ -8,6 +8,13 @@
 //	    and write the suite: trace records with gold material, no wall
 //	    time, deterministic IDs.
 //
+//	replay record -from-traces traces.jsonl -out suite.jsonl [-seed 42] [-quick] [-note ...]
+//	    Convert a live trace log (cmd/pgakvd's -trace-dir JSONL) into a
+//	    suite instead of answering anything: wall time is stripped, IDs
+//	    are restamped deterministically, and recorded prompt versions are
+//	    promoted into the suite meta. -seed/-quick must name the world the
+//	    traffic ran against; -methods/-model/-per-dataset do not apply.
+//
 //	replay run -suite suite.jsonl -out artifact.json
 //	    Replay a recorded suite against the current binary (environment
 //	    pinned to the suite's seed/scale, sequential, cache off) and write
@@ -64,6 +71,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   replay record -out suite.jsonl [-seed N] [-quick] [-methods a,b] [-model M] [-per-dataset N] [-note ...]
+  replay record -from-traces traces.jsonl -out suite.jsonl [-seed N] [-quick] [-note ...]
   replay run    -suite suite.jsonl -out artifact.json [-timeout 0]
   replay diff   -baseline old.json -current new.json [-max-accuracy-drop PP] [-max-p95-inflation X] [-max-token-inflation X]`)
 }
@@ -77,6 +85,7 @@ func cmdRecord(args []string) error {
 	model := fs.String("model", "", "model label (default GPT-3.5)")
 	perDataset := fs.Int("per-dataset", 0, "cap questions per dataset (0 = all)")
 	note := fs.String("note", "", "provenance note stored in the suite meta")
+	fromTraces := fs.String("from-traces", "", "convert this live trace log into a suite instead of recording one")
 	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
 	fs.Parse(args)
 	if *out == "" {
@@ -97,7 +106,16 @@ func cmdRecord(args []string) error {
 		}
 	}
 	start := time.Now()
-	suite, err := replay.RecordSuite(ctx, opts)
+	var suite replay.Suite
+	var err error
+	if *fromTraces != "" {
+		if *methods != "" || *model != "" || *perDataset != 0 {
+			return fmt.Errorf("record: -methods/-model/-per-dataset do not apply with -from-traces (the log already fixes them)")
+		}
+		suite, err = replay.SuiteFromTraces(*fromTraces, opts)
+	} else {
+		suite, err = replay.RecordSuite(ctx, opts)
+	}
 	if err != nil {
 		return err
 	}

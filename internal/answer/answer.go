@@ -42,6 +42,11 @@ type Query struct {
 	Open bool
 	// Anchors are the gold topic entities for anchor-based methods (ToG).
 	Anchors []string
+	// PromptVersions pins prompt versions for this query (prompt name ->
+	// version string), the per-request A/B override. Unset names use the
+	// registry's active versions. Unknown names or versions fail the query
+	// with ClassInvalidQuery before any work starts.
+	PromptVersions map[string]string
 	// Overrides tune a single request without rebuilding the Answerer.
 	Overrides Overrides
 }
@@ -80,6 +85,10 @@ type Result struct {
 	LLMCalls         int
 	PromptTokens     int
 	CompletionTokens int
+	// PromptVersions records the exact prompt versions the query rendered
+	// with (prompt name -> version string) — the provenance trace records
+	// pin and replay restores.
+	PromptVersions map[string]string
 	// Trace carries the run's intermediate artefacts and per-stage spans.
 	// Pipeline-backed methods ("ours", "ours-gp") fill the full graph
 	// trace; baseline methods carry their stage spans. On a failed run the
@@ -94,6 +103,12 @@ type Result struct {
 func (r Result) Clone() Result {
 	out := r
 	out.Trace = r.Trace.Clone()
+	if r.PromptVersions != nil {
+		out.PromptVersions = make(map[string]string, len(r.PromptVersions))
+		for k, v := range r.PromptVersions {
+			out.PromptVersions[k] = v
+		}
+	}
 	return out
 }
 

@@ -32,8 +32,13 @@ func DefaultToGConfig() ToGConfig { return baselines.DefaultToGConfig() }
 
 // coreConfig applies per-request overrides to the configured pipeline
 // settings.
-func coreConfig(o Options, q Query) core.Config {
+func coreConfig(d Deps, o Options, q Query) core.Config {
 	cfg := o.Core
+	if cfg.Prompts == nil {
+		// The per-request view pinned into the context wins anyway; wiring
+		// the registry keeps direct pipeline reuse consistent too.
+		cfg.Prompts = d.Prompts
+	}
 	if q.Overrides.Temperature != nil {
 		cfg.Temperature = *q.Overrides.Temperature
 	}
@@ -83,7 +88,7 @@ func init() {
 		NeedsStore:  true,
 		NeedsIndex:  true,
 		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
-			p, err := core.New(d.Client, d.Store, d.Index, coreConfig(o, q))
+			p, err := core.New(d.Client, d.Store, d.Index, coreConfig(d, o, q))
 			if err != nil {
 				return "", nil, err
 			}
@@ -101,7 +106,7 @@ func init() {
 		NeedsStore:  true,
 		NeedsIndex:  true,
 		Run: func(ctx context.Context, d Deps, o Options, q Query) (string, *core.Trace, error) {
-			p, err := core.New(d.Client, d.Store, d.Index, coreConfig(o, q))
+			p, err := core.New(d.Client, d.Store, d.Index, coreConfig(d, o, q))
 			if err != nil {
 				return "", nil, err
 			}

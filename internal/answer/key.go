@@ -37,6 +37,23 @@ func QueryKey(method, model string, q Query) string {
 	}
 	b.WriteByte(0)
 	writeOverrides(&b, q.Overrides)
+	if len(q.PromptVersions) > 0 {
+		// Prompt-version overrides change the rendered prompts and so the
+		// answer; pinned and unpinned queries must never share a cache
+		// entry. Sorted for map-order stability.
+		b.WriteByte(0)
+		names := make([]string, 0, len(q.PromptVersions))
+		for name := range q.PromptVersions {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b.WriteString(normalizeText(name))
+			b.WriteByte('@')
+			b.WriteString(normalizeText(q.PromptVersions[name]))
+			b.WriteByte(';')
+		}
+	}
 	return b.String()
 }
 

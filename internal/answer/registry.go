@@ -11,6 +11,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/kg"
 	"repro/internal/llm"
+	"repro/internal/prompts"
 	"repro/internal/vecstore"
 )
 
@@ -42,6 +43,12 @@ type Deps struct {
 	// and Index above. Methods needing a store or index are satisfied by
 	// a Substrate at construction time.
 	Substrate Substrate
+	// Prompts is the versioned prompt registry queries render from; nil
+	// uses the shared embedded defaults. Every Answer call resolves one
+	// immutable view (active versions plus the query's PromptVersions
+	// overrides) and pins it into the context, so a hot reload mid-query
+	// can never mix prompt versions within one run.
+	Prompts *prompts.Registry
 }
 
 // Options collects the per-method configuration an Answerer is built with.
@@ -223,6 +230,14 @@ func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 	if q.Overrides.TokenBudget != nil && *q.Overrides.TokenBudget > 0 {
 		ctx = llm.WithBudget(ctx, llm.NewBudget(*q.Overrides.TokenBudget))
 	}
+	// Resolve the prompt view once, strictly: a bad version override is an
+	// invalid query, and the pinned view keeps the whole run — across every
+	// stage — on one consistent prompt set even through a hot reload.
+	view, verr := m.deps.Prompts.Resolve(q.PromptVersions)
+	if verr != nil {
+		return Result{}, &InvalidQueryError{Reason: verr.Error()}
+	}
+	ctx = prompts.WithView(ctx, view)
 	// Budget enforcement sits inside the counter, so refused calls never
 	// count as usage — and holds whether or not a scheduler is configured.
 	counter := llm.NewCounting(llm.Budgeted(m.deps.Client))
@@ -248,6 +263,7 @@ func (m *method) Answer(ctx context.Context, q Query) (Result, error) {
 		LLMCalls:         calls,
 		PromptTokens:     promptTokens,
 		CompletionTokens: completionTokens,
+		PromptVersions:   view.Versions(),
 		Trace:            trace,
 	}, err
 }

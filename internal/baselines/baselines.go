@@ -54,12 +54,20 @@ type State struct {
 	Answer string
 }
 
+// view resolves the prompt view for a request: the View pinned into the
+// context by the answer layer wins (carrying per-request A/B overrides
+// and hot-reload consistency); bare callers fall back to the shared
+// default registry's active set.
+func view(ctx context.Context) *prompts.View {
+	return prompts.Default().For(ctx)
+}
+
 // answerStage builds the terminal LLM stage from a prompt constructor.
-func answerStage(client llm.Client, build func(s *State) string, wrap string) exec.Stage[State] {
+func answerStage(client llm.Client, build func(ctx context.Context, s *State) string, wrap string) exec.Stage[State] {
 	return exec.Stage[State]{
 		Name: StageAnswer,
 		Run: func(ctx context.Context, s *State) error {
-			resp, err := client.Complete(ctx, llm.Request{Prompt: build(s)})
+			resp, err := client.Complete(ctx, llm.Request{Prompt: build(ctx, s)})
 			if err != nil {
 				return fmt.Errorf("baselines: %s: %w", wrap, err)
 			}
@@ -75,14 +83,14 @@ func answerStage(client llm.Client, build func(s *State) string, wrap string) ex
 // input-output prompt (6 in-context examples), no reasoning elicitation.
 func IOStages(client llm.Client) []exec.Stage[State] {
 	return []exec.Stage[State]{
-		answerStage(client, func(s *State) string { return prompts.IO(s.Question) }, "IO"),
+		answerStage(client, func(ctx context.Context, s *State) string { return view(ctx).IO(s.Question) }, "IO"),
 	}
 }
 
 // CoTStages is the Chain-of-Thought composition.
 func CoTStages(client llm.Client) []exec.Stage[State] {
 	return []exec.Stage[State]{
-		answerStage(client, func(s *State) string { return prompts.CoT(s.Question) }, "CoT"),
+		answerStage(client, func(ctx context.Context, s *State) string { return view(ctx).CoT(s.Question) }, "CoT"),
 	}
 }
 
@@ -130,7 +138,7 @@ func SCStages(client llm.Client, cfg SCConfig) []exec.Stage[State] {
 				s.Samples = s.Samples[:0]
 				for i := 0; i < cfg.Samples; i++ {
 					resp, err := client.Complete(ctx, llm.Request{
-						Prompt:      prompts.CoT(s.Question),
+						Prompt:      view(ctx).CoT(s.Question),
 						Temperature: cfg.Temperature,
 						Nonce:       i,
 					})
@@ -245,8 +253,8 @@ func RAGStages(client llm.Client, index vecstore.Searcher, cfg RAGConfig) []exec
 			InputSize:  func(s *State) int { return len(s.Question) },
 			OutputSize: func(s *State) int { return s.Graph.Len() },
 		},
-		answerStage(client, func(s *State) string {
-			return prompts.AnswerFromGraph(s.Question, s.Graph.String())
+		answerStage(client, func(ctx context.Context, s *State) string {
+			return view(ctx).AnswerFromGraph(s.Question, s.Graph.String())
 		}, "RAG"),
 	}
 }
@@ -295,8 +303,8 @@ func ToGStages(client llm.Client, store kg.Reader, cfg ToGConfig) []exec.Stage[S
 			InputSize:  func(s *State) int { return len(s.Anchors) },
 			OutputSize: func(s *State) int { return s.Graph.Len() },
 		},
-		answerStage(client, func(s *State) string {
-			return prompts.AnswerFromGraph(s.Question, s.Graph.String())
+		answerStage(client, func(ctx context.Context, s *State) string {
+			return view(ctx).AnswerFromGraph(s.Question, s.Graph.String())
 		}, "ToG"),
 	}
 }
@@ -366,7 +374,7 @@ func pruneRelations(ctx context.Context, client llm.Client, question string, can
 		return candidates, nil
 	}
 	resp, err := client.Complete(ctx, llm.Request{
-		Prompt: prompts.ScoreRelations(question, candidates),
+		Prompt: view(ctx).ScoreRelations(question, candidates),
 	})
 	if err != nil {
 		return nil, err

@@ -22,6 +22,7 @@ import (
 	"repro/internal/kg"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/prompts"
 	"repro/internal/qa"
 	"repro/internal/serve"
 	"repro/internal/substrate"
@@ -75,6 +76,12 @@ type EnvConfig struct {
 	// (question, answer, usage, stage spans, substrate epoch, cache-hit
 	// flag). nil leaves tracing off.
 	Trace trace.Store
+	// Prompts is the versioned prompt registry every answerer renders
+	// from; nil gives the environment its own registry over the embedded
+	// defaults. The active version set's fingerprint joins the cache/
+	// singleflight scope exactly like the substrate epoch, so a hot
+	// reload that changes any prompt invalidates cached answers.
+	Prompts *prompts.Registry
 }
 
 // DefaultEnvConfig returns the paper-scale environment.
@@ -98,7 +105,8 @@ func QuickEnvConfig() EnvConfig {
 	wc.Universities = 25
 	cfg := DefaultEnvConfig()
 	cfg.World = wc
-	cfg.Data = datasets.Config{Seed: 7, SimpleN: 60, QALDN: 40, NatureN: 20}
+	cfg.Data = datasets.Config{Seed: 7, SimpleN: 60, QALDN: 40, NatureN: 20,
+		TemporalN: 12, AggregationN: 12, AdversarialN: 8, NoisyN: 12}
 	return cfg
 }
 
@@ -132,6 +140,9 @@ type Env struct {
 	// goes through Answerer, bench cells included.
 	Cache   *serve.Cache
 	Metrics *serve.Collector
+	// Prompts is the environment's versioned prompt registry (never nil
+	// after NewEnv); hot reloads and A/B pins go through it.
+	Prompts *prompts.Registry
 
 	pipeMu    sync.Mutex
 	pipelines map[string]cachedPipeline
@@ -197,6 +208,10 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		// so /v1/metrics sees process-wide tail-latency hedging.
 		cfg.Core.HedgeCounters = core.NewHedge()
 	}
+	if cfg.Prompts == nil {
+		cfg.Prompts = prompts.NewRegistry()
+	}
+	cfg.Core.Prompts = cfg.Prompts
 	return &Env{
 		Cfg:        cfg,
 		World:      w,
@@ -210,6 +225,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Clients:    clients,
 		Cache:      serve.NewCache(cfg.Cache), // nil when Size <= 0
 		Metrics:    serve.NewCollector(),
+		Prompts:    cfg.Prompts,
 		pipelines:  map[string]cachedPipeline{},
 		answerers:  map[string]answer.Answerer{},
 		flights:    serve.NewGroup(),
@@ -276,17 +292,22 @@ func (e *Env) Answerer(method, model string, src kg.Source) (answer.Answerer, er
 		Client:    m,
 		Substrate: mgr,
 		Encoder:   e.Enc,
+		Prompts:   e.Prompts,
 	}, answer.WithCoreConfig(e.Cfg.Core), answer.WithModelLabel(model))
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
 	// The cache and singleflight group are shared across every answerer
-	// this environment hands out; the (model, source, epoch) scope keeps
-	// identical questions against different substrates from colliding and
-	// makes every hot swap an implicit cache invalidation — entries keyed
-	// under an older epoch can never be served again.
+	// this environment hands out; the (model, source, epoch, prompt-set)
+	// scope keeps identical questions against different substrates from
+	// colliding and makes every hot swap — of the substrate or of the
+	// active prompt versions — an implicit cache invalidation: entries
+	// keyed under an older epoch or prompt fingerprint can never be
+	// served again.
 	prefix := model + "/" + src.String() + "@"
-	scope := func() string { return prefix + strconv.FormatUint(mgr.Epoch(), 10) }
+	scope := func() string {
+		return prefix + strconv.FormatUint(mgr.Epoch(), 10) + "#" + e.Prompts.Fingerprint()
+	}
 	mws := []serve.Middleware{serve.WithMetrics(e.Metrics)}
 	if e.Cfg.Trace != nil {
 		// Outside the cache and singleflight so each record captures what

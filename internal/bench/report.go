@@ -37,6 +37,14 @@ func (r *Report) Collect(ctx context.Context, e *Env, method, model string, dsNa
 		ds = e.Suite.Nature
 	case "SimpleQuestions":
 		ds = e.Suite.Simple
+	case "TemporalQuestions":
+		ds = e.Suite.Temporal
+	case "AggregationQuestions":
+		ds = e.Suite.Aggregation
+	case "AdversarialQuestions":
+		ds = e.Suite.Adversarial
+	case "NoisyQuestions":
+		ds = e.Suite.Noisy
 	default:
 		return fmt.Errorf("bench: unknown dataset %q", dsName)
 	}

@@ -111,6 +111,12 @@ type Config struct {
 	// own. Callers that rebuild pipelines per request (the answer
 	// registry) must share one or /v1/metrics sees only the last run.
 	HedgeCounters *Hedge
+	// Prompts is the versioned prompt registry the pipeline renders from;
+	// nil uses the shared embedded defaults (prompts.Default). Each LLM
+	// call resolves its view per request, so hot reloads and per-request
+	// version overrides (prompts.WithVersions/WithView) take effect
+	// without rebuilding the pipeline.
+	Prompts *prompts.Registry
 }
 
 // DefaultConfig returns the paper's settings.
@@ -260,7 +266,7 @@ func (p *Pipeline) generatePseudoGraph(ctx context.Context, client llm.Client, q
 		temp = temperature
 	}
 	resp, err := client.Complete(ctx, llm.Request{
-		Prompt:      prompts.PseudoGraph(question),
+		Prompt:      p.cfg.Prompts.For(ctx).PseudoGraph(question),
 		Temperature: temp,
 		Nonce:       nonce,
 	})
@@ -548,7 +554,7 @@ func (p *Pipeline) verify(ctx context.Context, client llm.Client, question strin
 	}
 	goldBlocks := gg.EntityBlocks(gg.Subjects())
 	resp, err := client.Complete(ctx, llm.Request{
-		Prompt:      prompts.Verify(question, goldBlocks, gp.String()),
+		Prompt:      p.cfg.Prompts.For(ctx).Verify(question, goldBlocks, gp.String()),
 		Temperature: p.cfg.Temperature,
 	})
 	if err != nil {
@@ -581,7 +587,7 @@ func (p *Pipeline) answerFromGraph(ctx context.Context, client llm.Client, quest
 		text = graph.String()
 	}
 	resp, err := client.Complete(ctx, llm.Request{
-		Prompt:      prompts.AnswerFromGraph(question, text),
+		Prompt:      p.cfg.Prompts.For(ctx).AnswerFromGraph(question, text),
 		Temperature: p.cfg.Temperature,
 	})
 	if err != nil {

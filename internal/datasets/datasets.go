@@ -7,6 +7,13 @@
 //     (prominent) entities (Wikidata-sourced in the paper);
 //   - NatureQuestions-like: 50 open-ended questions with three reference
 //     answers each, written from the world's ground truth.
+//
+// Beyond the paper trio, the package builds four scenario packs that
+// stress specific failure modes: TemporalQuestions (previous/original
+// revisions of time-varying facts), AggregationQuestions (cardinalities
+// the graph methods compute by executing Cypher), AdversarialQuestions
+// (false premises whose gold answer is "unanswerable") and NoisyQuestions
+// (chatty, case-mangled surface forms).
 package datasets
 
 import (
@@ -30,23 +37,44 @@ type Config struct {
 	QALDN int
 	// NatureN is the open-ended set size (the paper hand-writes 50).
 	NatureN int
+	// TemporalN sizes the temporal scenario pack (questions about previous
+	// or original revisions of time-varying facts).
+	TemporalN int
+	// AggregationN sizes the aggregation scenario pack (cardinality
+	// questions the graph methods answer by executing Cypher).
+	AggregationN int
+	// AdversarialN sizes the adversarial scenario pack (false-premise
+	// questions whose gold answer is "unanswerable").
+	AdversarialN int
+	// NoisyN sizes the noisy-surface scenario pack (chatty, case-mangled
+	// paraphrases of single-hop lookups).
+	NoisyN int
 }
 
-// DefaultConfig matches the paper's evaluation scale.
+// DefaultConfig matches the paper's evaluation scale, plus the scenario
+// packs.
 func DefaultConfig() Config {
-	return Config{Seed: 7, SimpleN: 400, QALDN: 200, NatureN: 50}
+	return Config{Seed: 7, SimpleN: 400, QALDN: 200, NatureN: 50,
+		TemporalN: 60, AggregationN: 60, AdversarialN: 40, NoisyN: 60}
 }
 
-// Suite bundles the three datasets.
+// Suite bundles the three paper datasets and the four scenario packs.
 type Suite struct {
 	Simple *qa.Dataset
 	QALD   *qa.Dataset
 	Nature *qa.Dataset
+	// Temporal, Aggregation, Adversarial and Noisy are the scenario packs:
+	// stress sets beyond the paper's benchmark trio.
+	Temporal    *qa.Dataset
+	Aggregation *qa.Dataset
+	Adversarial *qa.Dataset
+	Noisy       *qa.Dataset
 }
 
 // Datasets returns the suite's sets in presentation order.
 func (s *Suite) Datasets() []*qa.Dataset {
-	return []*qa.Dataset{s.Simple, s.QALD, s.Nature}
+	return []*qa.Dataset{s.Simple, s.QALD, s.Nature,
+		s.Temporal, s.Aggregation, s.Adversarial, s.Noisy}
 }
 
 // Build constructs the full suite from a world.
@@ -65,12 +93,34 @@ func Build(w *world.World, cfg Config) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("datasets: NatureQuestions: %w", err)
 	}
-	for _, d := range []*qa.Dataset{simple, qald, nature} {
+	// The scenario packs build after the paper trio, drawing from the same
+	// rng stream: the trio above stays byte-identical to pre-pack builds
+	// (the committed replay baselines depend on that).
+	temporal, err := buildTemporal(w, res, rng, cfg.TemporalN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: TemporalQuestions: %w", err)
+	}
+	aggregation, err := buildAggregation(w, res, rng, cfg.AggregationN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: AggregationQuestions: %w", err)
+	}
+	adversarial, err := buildAdversarial(w, res, rng, cfg.AdversarialN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: AdversarialQuestions: %w", err)
+	}
+	noisy, err := buildNoisy(w, res, rng, cfg.NoisyN)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: NoisyQuestions: %w", err)
+	}
+	s := &Suite{Simple: simple, QALD: qald, Nature: nature,
+		Temporal: temporal, Aggregation: aggregation,
+		Adversarial: adversarial, Noisy: noisy}
+	for _, d := range s.Datasets() {
 		if err := d.Validate(); err != nil {
 			return nil, err
 		}
 	}
-	return &Suite{Simple: simple, QALD: qald, Nature: nature}, nil
+	return s, nil
 }
 
 // singleHopRels are the relations eligible for SimpleQuestions items: every
@@ -243,6 +293,175 @@ func buildNature(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.D
 			ID: len(d.Questions), Text: text, Intent: in,
 			Refs:     references(w, support, rng),
 			SourceKG: kg.SourceWikidata,
+		})
+	}
+	return d, nil
+}
+
+// buildTemporal samples questions about previous/original revisions of the
+// world's time-varying facts (population is the only such relation). Every
+// subject is guaranteed at least two recorded revisions, so "previous"
+// always has a referent.
+func buildTemporal(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "TemporalQuestions", Metric: "hit@1"}
+	seen := make(map[string]bool)
+	cities := w.OfKind(world.KindCity)
+	if len(cities) == 0 {
+		return nil, fmt.Errorf("world has no cities to ask about")
+	}
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*300 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		tpl := qa.TemporalTemplates[rng.Intn(len(qa.TemporalTemplates))]
+		id := cities[rng.Intn(len(cities))]
+		if len(w.FactsSR(id, world.RelPopulation)) < 2 {
+			continue
+		}
+		subject := w.Entities[id].Name
+		text := tpl.Render(subject, "")
+		if seen[text] {
+			continue
+		}
+		in := qa.Intent{Kind: qa.KindLookup, Subject: subject, Chain: tpl.Chain, TRef: tpl.TRef}
+		golds, err := res.Gold(in)
+		if err != nil {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID: len(d.Questions), Text: text, Intent: in,
+			Golds: golds, SourceKG: kg.SourceWikidata,
+		})
+	}
+	return d, nil
+}
+
+// buildAggregation samples cardinality questions over multi-valued
+// relations. The gold is the true fact count; graph methods earn it by
+// aggregating retrieved triples through the Cypher engine.
+func buildAggregation(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "AggregationQuestions", Metric: "hit@1"}
+	seen := make(map[string]bool)
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*300 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		tpl := qa.CountTemplates[rng.Intn(len(qa.CountTemplates))]
+		facts := w.FactsByRel(tpl.Chain[0])
+		if len(facts) == 0 {
+			continue
+		}
+		f := facts[rng.Intn(len(facts))]
+		subject := w.Entities[f.Subject].Name
+		text := tpl.Render(subject, "")
+		if seen[text] {
+			continue
+		}
+		in := qa.Intent{Kind: qa.KindCount, Subject: subject, Chain: tpl.Chain}
+		golds, err := res.Gold(in)
+		if err != nil {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID: len(d.Questions), Text: text, Intent: in,
+			Golds: golds, SourceKG: kg.SourceWikidata,
+		})
+	}
+	return d, nil
+}
+
+// adversarialRels are the lookup relations the adversarial pack builds
+// false-premise questions from.
+var adversarialRels = []world.RelKey{
+	world.RelPopulation, world.RelCapital, world.RelBornIn, world.RelAward,
+	world.RelFoundedBy, world.RelOfficialLang, world.RelLength, world.RelGenre,
+}
+
+// buildAdversarial samples unanswerable questions: a well-formed lookup
+// template filled with a real entity of the wrong kind ("What is the
+// population of Marie Curie?"). The gold answer is qa.Unanswerable; any
+// confident guess scores zero.
+func buildAdversarial(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "AdversarialQuestions", Metric: "hit@1"}
+	seen := make(map[string]bool)
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*300 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		rel := adversarialRels[rng.Intn(len(adversarialRels))]
+		tpl, ok := qa.PrimaryLookupTemplate(rel)
+		if !ok {
+			continue
+		}
+		info, _ := world.RelByKey(rel)
+		id := rng.Intn(len(w.Entities))
+		ent := w.Entities[id]
+		// The premise must genuinely fail: wrong subject kind and no facts.
+		if ent.Kind == info.SubjectKind || len(w.FactsSR(id, rel)) > 0 {
+			continue
+		}
+		text := tpl.Render(ent.Name, "")
+		if seen[text] {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID:   len(d.Questions),
+			Text: text,
+			Intent: qa.Intent{Kind: qa.KindLookup, Subject: ent.Name,
+				Chain: []world.RelKey{rel}},
+			Golds:    []string{qa.Unanswerable},
+			SourceKG: kg.SourceWikidata,
+		})
+	}
+	return d, nil
+}
+
+// buildNoisy samples chatty paraphrases of single-hop lookups, lowercasing
+// the subject surface about half the time. The intent keeps the canonical
+// name — the noise lives only in the question text, which is what subject
+// resolution has to see through.
+func buildNoisy(w *world.World, res *qa.Resolver, rng *rand.Rand, n int) (*qa.Dataset, error) {
+	d := &qa.Dataset{Name: "NoisyQuestions", Metric: "hit@1"}
+	seen := make(map[string]bool)
+	attempts := 0
+	for len(d.Questions) < n {
+		attempts++
+		if attempts > n*300 {
+			return nil, fmt.Errorf("could not sample %d questions (got %d)", n, len(d.Questions))
+		}
+		tpl := qa.NoisyTemplates[rng.Intn(len(qa.NoisyTemplates))]
+		facts := w.FactsByRel(tpl.Chain[0])
+		if len(facts) == 0 {
+			continue
+		}
+		f := facts[rng.Intn(len(facts))]
+		subject := w.Entities[f.Subject].Name
+		surface := subject
+		if rng.Intn(2) == 0 {
+			surface = strings.ToLower(subject)
+		}
+		text := tpl.Render(surface, "")
+		if seen[text] {
+			continue
+		}
+		in := qa.Intent{Kind: qa.KindLookup, Subject: subject, Chain: tpl.Chain}
+		golds, err := res.Gold(in)
+		if err != nil {
+			continue
+		}
+		seen[text] = true
+		d.Questions = append(d.Questions, qa.Question{
+			ID: len(d.Questions), Text: text, Intent: in,
+			Golds: golds, SourceKG: kg.SourceWikidata,
 		})
 	}
 	return d, nil

@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/kg"
@@ -24,7 +25,8 @@ func testWorld(t testing.TB) *world.World {
 }
 
 func smallData() Config {
-	return Config{Seed: 7, SimpleN: 50, QALDN: 30, NatureN: 15}
+	return Config{Seed: 7, SimpleN: 50, QALDN: 30, NatureN: 15,
+		TemporalN: 10, AggregationN: 10, AdversarialN: 8, NoisyN: 10}
 }
 
 func TestBuildSizes(t *testing.T) {
@@ -135,7 +137,9 @@ func TestGoldsMatchResolver(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := &qa.Resolver{W: w}
-	for _, ds := range []*qa.Dataset{s.Simple, s.QALD} {
+	// Adversarial golds are fixed ("unanswerable"), not resolver-derived,
+	// so that pack is excluded.
+	for _, ds := range []*qa.Dataset{s.Simple, s.QALD, s.Temporal, s.Aggregation, s.Noisy} {
 		for _, q := range ds.Questions {
 			golds, err := res.Gold(q.Intent)
 			if err != nil {
@@ -166,7 +170,9 @@ func TestQuestionsParseBack(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: Parse(%q): %v", ds.Name, q.Text, err)
 			}
-			if in.Kind != q.Intent.Kind || in.Subject != q.Intent.Subject {
+			// The noisy pack lowercases subject surfaces, so subjects
+			// round-trip up to case; everything else is exact.
+			if in.Kind != q.Intent.Kind || !strings.EqualFold(in.Subject, q.Intent.Subject) {
 				t.Fatalf("%s: %q parsed to %+v, generated as %+v", ds.Name, q.Text, in, q.Intent)
 			}
 		}
@@ -185,6 +191,64 @@ func TestNatureRefsRealiseSupport(t *testing.T) {
 				t.Errorf("%q ref %d suspiciously short: %q", q.Text, i, ref)
 			}
 		}
+	}
+}
+
+// TestScenarioPacks pins the contract of each scenario pack: sizes, intent
+// shapes, and the properties the packs exist to stress.
+func TestScenarioPacks(t *testing.T) {
+	w := testWorld(t)
+	s, err := Build(w, smallData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Temporal.Questions); n != 10 {
+		t.Errorf("Temporal = %d", n)
+	}
+	if n := len(s.Aggregation.Questions); n != 10 {
+		t.Errorf("Aggregation = %d", n)
+	}
+	if n := len(s.Adversarial.Questions); n != 8 {
+		t.Errorf("Adversarial = %d", n)
+	}
+	if n := len(s.Noisy.Questions); n != 10 {
+		t.Errorf("Noisy = %d", n)
+	}
+
+	res := &qa.Resolver{W: w}
+	for _, q := range s.Temporal.Questions {
+		if q.Intent.TRef == qa.TemporalCurrent {
+			t.Errorf("temporal question %q asks about the current value", q.Text)
+		}
+	}
+	for _, q := range s.Aggregation.Questions {
+		if q.Intent.Kind != qa.KindCount {
+			t.Errorf("aggregation question %q is not a count intent", q.Text)
+		}
+	}
+	for _, q := range s.Adversarial.Questions {
+		if len(q.Golds) != 1 || q.Golds[0] != qa.Unanswerable {
+			t.Errorf("adversarial question %q golds = %v", q.Text, q.Golds)
+		}
+		// The premise must genuinely fail against the world.
+		if golds, err := res.Gold(q.Intent); err == nil {
+			t.Errorf("adversarial question %q resolves to %v", q.Text, golds)
+		}
+	}
+	sawLower, sawCanonical := false, false
+	for _, q := range s.Noisy.Questions {
+		lower := strings.ToLower(q.Intent.Subject)
+		switch {
+		case strings.Contains(q.Text, q.Intent.Subject):
+			sawCanonical = true
+		case strings.Contains(q.Text, lower):
+			sawLower = true
+		default:
+			t.Errorf("noisy question %q does not contain subject %q in either case", q.Text, q.Intent.Subject)
+		}
+	}
+	if !sawLower || !sawCanonical {
+		t.Errorf("noisy pack should mix cased and lowercased subjects (lower=%v canonical=%v)", sawLower, sawCanonical)
 	}
 }
 

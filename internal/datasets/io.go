@@ -21,6 +21,7 @@ type questionJSON struct {
 	Chain     []string `json:"chain,omitempty"`
 	ValueRel  string   `json:"value_rel,omitempty"`
 	FilterRel string   `json:"filter_rel,omitempty"`
+	TRef      string   `json:"temporal_ref,omitempty"`
 	Golds     []string `json:"golds,omitempty"`
 	Refs      []string `json:"refs,omitempty"`
 	SourceKG  string   `json:"source_kg"`
@@ -41,7 +42,21 @@ var kindNames = map[qa.IntentKind]string{
 	qa.KindOpenProfile:  "open-profile",
 	qa.KindOpenField:    "open-field",
 	qa.KindOpenList:     "open-list",
+	qa.KindCount:        "count",
 }
+
+var trefNames = map[qa.TemporalRef]string{
+	qa.TemporalPrevious: "previous",
+	qa.TemporalOriginal: "original",
+}
+
+var trefByName = func() map[string]qa.TemporalRef {
+	m := make(map[string]qa.TemporalRef, len(trefNames))
+	for k, n := range trefNames {
+		m[n] = k
+	}
+	return m
+}()
 
 var kindByName = func() map[string]qa.IntentKind {
 	m := make(map[string]qa.IntentKind, len(kindNames))
@@ -63,6 +78,7 @@ func WriteJSON(w io.Writer, d *qa.Dataset) error {
 			Subject2:  q.Intent.Subject2,
 			ValueRel:  string(q.Intent.ValueRel),
 			FilterRel: string(q.Intent.FilterRel),
+			TRef:      trefNames[q.Intent.TRef],
 			Golds:     q.Golds,
 			Refs:      q.Refs,
 			SourceKG:  q.SourceKG.String(),
@@ -102,6 +118,13 @@ func ReadJSON(r io.Reader) (*qa.Dataset, error) {
 			Subject2:  qj.Subject2,
 			ValueRel:  world.RelKey(qj.ValueRel),
 			FilterRel: world.RelKey(qj.FilterRel),
+		}
+		if qj.TRef != "" {
+			tref, ok := trefByName[qj.TRef]
+			if !ok {
+				return nil, fmt.Errorf("datasets: question %d: unknown temporal ref %q", i, qj.TRef)
+			}
+			in.TRef = tref
 		}
 		for _, rel := range qj.Chain {
 			in.Chain = append(in.Chain, world.RelKey(rel))

@@ -39,8 +39,15 @@ func (s *SimLM) completeParametric(req Request, cot bool) (string, error) {
 // memory alone.
 func (s *SimLM) preciseParametric(question string, intent qa.Intent, req Request, cot bool) string {
 	nonce := req.Nonce
+	if s.premiseMismatch(intent) && coin(s.params.PremiseCheckRate, s.seed, "premise", question) {
+		return fmt.Sprintf("That question does not apply to %s, so the answer is {%s}.",
+			intent.Subject, qa.Unanswerable)
+	}
 	switch intent.Kind {
 	case qa.KindLookup:
+		if intent.TRef != qa.TemporalCurrent {
+			return s.temporalParametric(question, intent, req, cot)
+		}
 		obj := s.recallChain(question, intent.Subject, intent.Chain, req, cot)
 		return fmt.Sprintf("The answer is {%s}.", obj)
 	case qa.KindCompareCount:
@@ -49,10 +56,78 @@ func (s *SimLM) preciseParametric(question string, intent qa.Intent, req Request
 		return s.compareValue(question, intent, req)
 	case qa.KindSuperlative:
 		return s.superlativeParametric(question, intent, req)
+	case qa.KindCount:
+		return s.countParametric(question, intent, req)
 	default:
 		return fmt.Sprintf("The answer is {%s}.",
 			s.mem.guessEntity(world.KindPerson, question, strconv.Itoa(nonce)))
 	}
+}
+
+// premiseMismatch reports whether the question's premise fails by schema:
+// the subject resolves to a world entity whose kind cannot carry the
+// chain's first relation (and indeed has no such facts). Unknown subjects
+// are not premise failures — the model simply doesn't know them.
+func (s *SimLM) premiseMismatch(intent qa.Intent) bool {
+	if len(intent.Chain) == 0 {
+		return false
+	}
+	ent, ok := s.mem.resolveSubject(intent.Subject)
+	if !ok {
+		return false
+	}
+	info, ok := world.RelByKey(intent.Chain[0])
+	if !ok {
+		return false
+	}
+	return info.SubjectKind != ent.Kind && len(s.w.FactsSR(ent.ID, intent.Chain[0])) == 0
+}
+
+// temporalParametric answers a lookup about a non-current revision of a
+// time-varying fact. The model must have memorised the revision history —
+// each revision passes its own recall gates, so a model that missed the
+// early updates reports the wrong "previous" value.
+func (s *SimLM) temporalParametric(question string, intent qa.Intent, req Request, cot bool) string {
+	rel := intent.Chain[0]
+	salt := question + "#temporal#" + strconv.Itoa(req.Nonce)
+	var value string
+	known := false
+	if ent, ok := s.mem.resolveSubject(intent.Subject); ok {
+		hist := s.mem.recallSRHistory(ent.ID, rel, req.Temperature, req.Nonce)
+		switch intent.TRef {
+		case qa.TemporalPrevious:
+			if len(hist) >= 2 {
+				value = hist[len(hist)-2].Object
+				known = true
+			}
+		case qa.TemporalOriginal:
+			if len(hist) > 0 {
+				value = hist[0].Object
+				known = true
+			}
+		}
+	}
+	if known && !cot && coin(s.params.IOPenalty, s.seed, "iopen", salt) {
+		known = false
+	}
+	if !known {
+		value = s.mem.guessForRelation(rel, salt)
+	}
+	return fmt.Sprintf("At that time it was {%s}.", value)
+}
+
+// countParametric answers a cardinality question by counting believed
+// values: a model that misses tail facts undercounts, and one that knows
+// nothing guesses a small number.
+func (s *SimLM) countParametric(question string, intent qa.Intent, req Request) string {
+	if ent, ok := s.mem.resolveSubject(intent.Subject); ok {
+		beliefs := s.mem.recallSR(ent.ID, intent.Chain[0], req.Temperature, req.Nonce)
+		if len(beliefs) > 0 {
+			return fmt.Sprintf("I can recall %s having {%d} of them.", intent.Subject, len(beliefs))
+		}
+	}
+	h := hash64(s.seed, "countguess", question, strconv.Itoa(req.Nonce))
+	return fmt.Sprintf("I would estimate {%d}.", 1+int(h%5))
 }
 
 // recallChain walks a relation chain through the model's beliefs. Each hop

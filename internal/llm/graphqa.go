@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cypher"
 	"repro/internal/embed"
 	"repro/internal/kg"
 	"repro/internal/prompts"
@@ -90,6 +91,9 @@ func subjectMatches(a, b string) bool {
 
 // preciseFromGraph walks the intent inside the graph.
 func (s *SimLM) preciseFromGraph(problem string, intent qa.Intent, graph *kg.Graph, req Request) string {
+	if s.premiseMismatch(intent) && coin(s.params.PremiseCheckRate, s.seed, "premise", problem) {
+		return fmt.Sprintf("The graph offers nothing for that premise; the answer is {%s}.", qa.Unanswerable)
+	}
 	switch intent.Kind {
 	case qa.KindLookup:
 		cur := intent.Subject
@@ -105,6 +109,15 @@ func (s *SimLM) preciseFromGraph(problem string, intent qa.Intent, graph *kg.Gra
 			obj := hits[0].Object
 			if info.TimeVarying {
 				obj = hits[len(hits)-1].Object
+				switch intent.TRef {
+				case qa.TemporalPrevious:
+					if len(hits) < 2 {
+						return s.bestEffortFromGraph(problem, graph)
+					}
+					obj = hits[len(hits)-2].Object
+				case qa.TemporalOriginal:
+					obj = hits[0].Object
+				}
 			}
 			if hop == len(intent.Chain)-1 {
 				return fmt.Sprintf("Based on the [graph] above, the answer is {%s}.", obj)
@@ -112,6 +125,8 @@ func (s *SimLM) preciseFromGraph(problem string, intent qa.Intent, graph *kg.Gra
 			cur = obj
 		}
 		return s.bestEffortFromGraph(problem, graph)
+	case qa.KindCount:
+		return s.countFromGraph(problem, intent, graph, req)
 	case qa.KindCompareCount:
 		a := len(findHop(graph, intent.Subject, intent.Chain[0]))
 		b := len(findHop(graph, intent.Subject2, intent.Chain[0]))
@@ -153,6 +168,68 @@ func (s *SimLM) preciseFromGraph(problem string, intent qa.Intent, graph *kg.Gra
 	default:
 		return s.bestEffortFromGraph(problem, graph)
 	}
+}
+
+// countFromGraph answers a cardinality question by genuinely aggregating:
+// the model transliterates the retrieved graph into a Cypher script,
+// tagging edges that realise the counted relation from the question's
+// subject as :TARGET, executes the script through the Cypher engine, and
+// counts the distinct objects a MATCH projection returns. Counting happens
+// in the graph machinery, not in numeric recall — the point of the
+// aggregation pack.
+func (s *SimLM) countFromGraph(problem string, intent qa.Intent, graph *kg.Graph, req Request) string {
+	rel := intent.Chain[0]
+	var b strings.Builder
+	tagged := 0
+	for i, t := range graph.Triples {
+		subj := t.Subject
+		relType := "FACT"
+		if subjectMatches(t.Subject, intent.Subject) && relMatches(t.Relation, rel) {
+			// The model reads a mangled subject as the asked-about entity
+			// and canonicalises it while transliterating.
+			subj = intent.Subject
+			relType = "TARGET"
+			tagged++
+		}
+		fmt.Fprintf(&b, "CREATE (a%d:Entity {name: %s})-[:%s]->(b%d:Entity {name: %s})\n",
+			i, cypherString(subj), relType, i, cypherString(t.Object))
+	}
+	if tagged == 0 {
+		// The graph is silent on the counted relation: fall back to memory.
+		return s.countParametric(problem, intent, req)
+	}
+	script, err := cypher.Parse(b.String())
+	if err != nil {
+		return s.bestEffortFromGraph(problem, graph)
+	}
+	ex := cypher.NewExecutor()
+	if err := ex.Run(script); err != nil {
+		return s.bestEffortFromGraph(problem, graph)
+	}
+	q := fmt.Sprintf("MATCH (s:Entity {name: %s})-[:TARGET]->(o:Entity) RETURN o.name",
+		cypherString(intent.Subject))
+	qs, err := cypher.Parse(q)
+	if err != nil || len(qs.Statements) != 1 {
+		return s.bestEffortFromGraph(problem, graph)
+	}
+	match, ok := qs.Statements[0].(*cypher.MatchStmt)
+	if !ok {
+		return s.bestEffortFromGraph(problem, graph)
+	}
+	rows, err := ex.Query(match)
+	if err != nil {
+		return s.bestEffortFromGraph(problem, graph)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if len(r.Values) > 0 {
+			seen[r.Values[0]] = true
+		}
+	}
+	if len(seen) == 0 {
+		return s.countParametric(problem, intent, req)
+	}
+	return fmt.Sprintf("Counting the matching triples in the [graph] above gives {%d}.", len(seen))
 }
 
 // comparisonGuess picks one of a comparison's two subjects when the graph

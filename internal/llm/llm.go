@@ -151,6 +151,11 @@ type GradeParams struct {
 	// which makes the raw Gp narrower than a free-text answer — the small
 	// ROUGE regression in the paper's Table V.
 	OpenPlanSelectivity float64
+	// PremiseCheckRate is the probability that the model notices a
+	// false-premise question (asking about a relation the subject cannot
+	// have) and declines to answer instead of hallucinating. Higher grades
+	// are better calibrated.
+	PremiseCheckRate float64
 }
 
 // GPT35Params returns the GPT-3.5-grade preset: shallow tail knowledge,
@@ -175,6 +180,7 @@ func GPT35Params() GradeParams {
 		SubjectDriftRate:    0.90,
 		PlanActivation:      0.28,
 		OpenPlanSelectivity: 0.95,
+		PremiseCheckRate:    0.55,
 	}
 }
 
@@ -201,5 +207,6 @@ func GPT4Params() GradeParams {
 		SubjectDriftRate:     0.45,
 		PlanActivation:       0.30,
 		OpenPlanSelectivity:  0.20,
+		PremiseCheckRate:     0.85,
 	}
 }

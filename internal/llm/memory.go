@@ -167,6 +167,22 @@ func (m *memory) recallSRBoosted(subjectID int, rel world.RelKey, temperature fl
 	return out
 }
 
+// recallSRHistory returns beliefs about every revision of (subject,
+// relation) in chronological order, without the time-varying collapse
+// recallSR applies. Temporal questions need the full revision history; each
+// revision passes the usual know/corrupt gates independently (models
+// remember updates they saw and miss ones they did not).
+func (m *memory) recallSRHistory(subjectID int, rel world.RelKey, temperature float64, nonce int) []belief {
+	facts := m.w.FactsSR(subjectID, rel)
+	var out []belief
+	for _, f := range facts {
+		if b, ok := m.recallFact(f, temperature, nonce); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // recallSR returns the model's beliefs about (subject entity, relation).
 // Time-varying relations collapse to the current revision. Multi-valued
 // relations return every known value.

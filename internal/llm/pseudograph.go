@@ -76,6 +76,24 @@ func (s *SimLM) planPseudoGraph(question string, intent qa.Intent, req Request) 
 
 	switch intent.Kind {
 	case qa.KindLookup:
+		if intent.TRef != qa.TemporalCurrent && len(intent.Chain) == 1 {
+			// Temporal lookup: lay out every believed revision in
+			// chronological order so the graph QA step can index into the
+			// history instead of collapsing to the current value.
+			rel := intent.Chain[0]
+			if ent, ok := s.mem.resolveSubject(intent.Subject); ok {
+				hist := s.mem.recallSRHistory(ent.ID, rel, req.Temperature, req.Nonce)
+				if len(hist) > 0 {
+					for _, b := range hist {
+						add(intent.Subject, rel, b.Object)
+					}
+					enrich(intent.Subject)
+					break
+				}
+			}
+			add(intent.Subject, rel, s.mem.guessForRelation(rel, question, "thist"))
+			break
+		}
 		cur := intent.Subject
 		for hop, rel := range intent.Chain {
 			info, _ := world.RelByKey(rel)
@@ -88,6 +106,12 @@ func (s *SimLM) planPseudoGraph(question string, intent qa.Intent, req Request) 
 				break
 			}
 			cur = val
+		}
+	case qa.KindCount:
+		// Cardinality questions plan like comparisons: write down every
+		// believed value so downstream counting happens over triples.
+		for _, v := range recallAll(intent.Subject, intent.Chain[0], "count") {
+			add(intent.Subject, intent.Chain[0], v)
 		}
 	case qa.KindCompareCount:
 		for si, subject := range []string{intent.Subject, intent.Subject2} {

@@ -46,6 +46,12 @@ func (s *SimLM) completeVerify(req Request) (string, error) {
 
 	intent, perr := qa.Parse(parts.Problem)
 	open := perr == nil && intent.IsOpen()
+	// Temporal problems ask about a non-current revision and count problems
+	// aggregate over every value, so for both the verifier keeps the whole
+	// group rather than collapsing to the latest value — otherwise the
+	// material the graph QA step indexes or counts would be edited away
+	// here.
+	keepHistory := perr == nil && (intent.TRef != qa.TemporalCurrent || intent.Kind == qa.KindCount)
 
 	goldBySubject := map[string][]kg.Triple{}
 	var goldSubjectOrder []string
@@ -71,6 +77,12 @@ func (s *SimLM) completeVerify(req Request) (string, error) {
 			return
 		}
 		consumed[key] = true
+		if keepHistory {
+			for _, t := range group {
+				fixed.Add(kg.Triple{Subject: t.Subject, Relation: t.Relation, Object: t.Object})
+			}
+			return
+		}
 		fixed.Add(kg.Triple{Subject: last.Subject, Relation: last.Relation, Object: last.Object})
 	}
 	// relationGroup collects the gold triples of a subject sharing a

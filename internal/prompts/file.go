@@ -1,0 +1,500 @@
+package prompts
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The .prompt file format, modelled on the dotprompt idiom: a YAML-ish
+// frontmatter block between two "---" lines, then the template body
+// verbatim. The frontmatter is deliberately a tiny, strict subset — no
+// nesting, no flow collections, no implicit typing — so a torn or doctored
+// file fails to parse instead of silently loading with the wrong meaning:
+//
+//	---
+//	name: answer-graph
+//	version: 1
+//	description: Fig. 5 answer-from-graph prompt
+//	task: graph-qa
+//	temperature: 0.7
+//	markers:
+//	  - "[problem]:"
+//	  - "[graph]:"
+//	vars:
+//	  - problem
+//	  - graph
+//	---
+//	[Task description]:
+//	...body with {{problem}} and {{graph}} placeholders...
+//
+// The body is everything after the closing "---" line, byte for byte —
+// including trailing spaces and the presence or absence of a final
+// newline. Rendering substitutes {{var}} placeholders and nothing else,
+// so the rendered prompt is exactly the body with values spliced in.
+
+// Prompt is one parsed .prompt file: a named, versioned template plus the
+// metadata the registry validates at load time.
+type Prompt struct {
+	// Name identifies the prompt slot ("pseudo-graph", "io", ...); versions
+	// of the same name are alternatives for the same pipeline step.
+	Name string
+	// Version orders alternatives; the registry activates the highest
+	// non-candidate version by default.
+	Version int
+	// Description is free-form provenance shown by GET /v1/prompts.
+	Description string
+	// Task is the TaskKind the rendered prompt must classify as — the
+	// contract the simulated LLM's marker dispatch depends on.
+	Task TaskKind
+	// Candidate versions load and are selectable (SetActive or a
+	// per-request override) but never become active by default — the A/B
+	// safety latch.
+	Candidate bool
+	// Temperature is an optional model parameter carried for callers.
+	Temperature float64
+	// HasTemperature reports whether the file set Temperature.
+	HasTemperature bool
+	// Markers are the substrings the file declares the body must contain.
+	// Validation additionally requires the task's canonical marker set.
+	Markers []string
+	// Vars are the declared {{placeholder}} names, in declaration order.
+	Vars []string
+	// Body is the template text, verbatim.
+	Body string
+	// Source records where the loader read this prompt from ("embedded"
+	// or a file path). It is loader metadata, not frontmatter: ParsePrompt
+	// leaves it empty and Format does not emit it.
+	Source string
+}
+
+// frontmatterKeys is the full legal key set; anything else is an error so
+// a typo ("marker:") cannot silently drop an invariant.
+var frontmatterKeys = map[string]bool{
+	"name": true, "version": true, "description": true, "task": true,
+	"candidate": true, "temperature": true, "markers": true, "vars": true,
+}
+
+// ParsePrompt parses one .prompt file. It is strict: missing or duplicate
+// keys, unknown keys, an unterminated frontmatter block, and malformed
+// values are all errors — ParsePrompt either returns a Prompt that
+// round-trips through Format, or a clean error, never a partial result.
+func ParsePrompt(data []byte) (*Prompt, error) {
+	src := string(data)
+	const fence = "---"
+	rest, ok := strings.CutPrefix(src, fence+"\n")
+	if !ok {
+		return nil, fmt.Errorf("prompts: file must start with %q frontmatter fence", fence)
+	}
+	p := &Prompt{Version: -1}
+	seen := map[string]bool{}
+	var listKey string // key whose list items we are collecting, if any
+	for {
+		line, tail, found := strings.Cut(rest, "\n")
+		if !found {
+			return nil, fmt.Errorf("prompts: unterminated frontmatter (no closing %q)", fence)
+		}
+		rest = tail
+		if line == fence {
+			break
+		}
+		if item, ok := strings.CutPrefix(line, "  - "); ok {
+			if listKey == "" {
+				return nil, fmt.Errorf("prompts: list item %q outside a list key", line)
+			}
+			val, err := parseValue(item)
+			if err != nil {
+				return nil, fmt.Errorf("prompts: %s item: %w", listKey, err)
+			}
+			switch listKey {
+			case "markers":
+				p.Markers = append(p.Markers, val)
+			case "vars":
+				p.Vars = append(p.Vars, val)
+			}
+			continue
+		}
+		key, raw, found := strings.Cut(line, ":")
+		if !found || key == "" || strings.TrimSpace(key) != key {
+			return nil, fmt.Errorf("prompts: malformed frontmatter line %q", line)
+		}
+		if !frontmatterKeys[key] {
+			return nil, fmt.Errorf("prompts: unknown frontmatter key %q", key)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("prompts: duplicate frontmatter key %q", key)
+		}
+		seen[key] = true
+		listKey = ""
+		if key == "markers" || key == "vars" {
+			if strings.TrimSpace(raw) != "" {
+				return nil, fmt.Errorf("prompts: %s must be a list (use %q items)", key, "  - ")
+			}
+			listKey = key
+			continue
+		}
+		val, err := parseValue(strings.TrimPrefix(raw, " "))
+		if err != nil {
+			return nil, fmt.Errorf("prompts: %s: %w", key, err)
+		}
+		switch key {
+		case "name":
+			p.Name = val
+		case "description":
+			p.Description = val
+		case "version":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("prompts: version %q is not an integer", val)
+			}
+			p.Version = v
+		case "task":
+			t, err := ParseTaskKind(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Task = t
+		case "candidate":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("prompts: candidate %q is not a bool", val)
+			}
+			p.Candidate = b
+		case "temperature":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("prompts: temperature %q is not a number", val)
+			}
+			p.Temperature = f
+			p.HasTemperature = true
+		}
+	}
+	p.Body = rest
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseValue interprets one scalar: a leading double quote selects Go
+// string syntax (the only way to carry values with leading/trailing
+// spaces, quotes, or colons safely), anything else is taken verbatim.
+func parseValue(s string) (string, error) {
+	if strings.HasPrefix(s, `"`) {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return "", fmt.Errorf("bad quoted value %s", s)
+		}
+		return v, nil
+	}
+	if s != strings.TrimSpace(s) {
+		return "", fmt.Errorf("unquoted value %q has surrounding space (quote it)", s)
+	}
+	return s, nil
+}
+
+// formatValue renders a scalar for Format, quoting when verbatim form
+// would not survive a reparse.
+func formatValue(s string) string {
+	if s == "" || s != strings.TrimSpace(s) || strings.HasPrefix(s, `"`) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// Format renders the prompt back into .prompt file bytes. Format(Parse(x))
+// is semantically lossless: reparsing yields an equal Prompt (the fuzz
+// test holds this round-trip invariant).
+func (p *Prompt) Format() []byte {
+	var b strings.Builder
+	b.WriteString("---\n")
+	fmt.Fprintf(&b, "name: %s\n", formatValue(p.Name))
+	fmt.Fprintf(&b, "version: %d\n", p.Version)
+	if p.Description != "" {
+		fmt.Fprintf(&b, "description: %s\n", formatValue(p.Description))
+	}
+	fmt.Fprintf(&b, "task: %s\n", p.Task)
+	if p.Candidate {
+		b.WriteString("candidate: true\n")
+	}
+	if p.HasTemperature {
+		fmt.Fprintf(&b, "temperature: %s\n", strconv.FormatFloat(p.Temperature, 'g', -1, 64))
+	}
+	if len(p.Markers) > 0 {
+		b.WriteString("markers:\n")
+		for _, m := range p.Markers {
+			fmt.Fprintf(&b, "  - %s\n", formatValue(m))
+		}
+	}
+	if len(p.Vars) > 0 {
+		b.WriteString("vars:\n")
+		for _, v := range p.Vars {
+			fmt.Fprintf(&b, "  - %s\n", formatValue(v))
+		}
+	}
+	b.WriteString("---\n")
+	b.WriteString(p.Body)
+	return []byte(b.String())
+}
+
+// taskMarkers is the canonical marker invariant per task: the substrings
+// the simulated LLM's Classify dispatch and extractors require. Every
+// version of a prompt must keep its task's markers, or a hot-reloaded
+// file would silently break the model's task recognition.
+var taskMarkers = map[TaskKind][]string{
+	TaskPseudoGraph:   {MarkerCypher, MarkerQuestion},
+	TaskDirectTriples: {MarkerDirect, MarkerQuestion},
+	TaskVerify:        {MarkerProblem, MarkerGold, MarkerToFix, MarkerFixed},
+	TaskGraphQA:       {MarkerProblem, MarkerGraphQA, MarkerAnswer},
+	TaskCoT:           {MarkerCoT, MarkerProblem, MarkerAnswer},
+	TaskIO:            {MarkerProblem, MarkerAnswer},
+	TaskScoreRels:     {MarkerProblem, MarkerScoreRels},
+}
+
+// Validate checks the prompt's internal contract: well-formed metadata,
+// declared vars exactly matching the body's placeholders, every declared
+// and canonical marker present, the body classifying as the declared
+// task, and the extractor round trip succeeding on a probe render.
+func (p *Prompt) Validate() error {
+	if !validName(p.Name) {
+		return fmt.Errorf("prompts: bad or missing name %q (want lowercase-kebab)", p.Name)
+	}
+	if p.Version < 1 {
+		return fmt.Errorf("prompts: %s: version must be >= 1 (got %d)", p.Name, p.Version)
+	}
+	placeholders, err := scanPlaceholders(p.Body)
+	if err != nil {
+		return fmt.Errorf("prompts: %s@%d: %w", p.Name, p.Version, err)
+	}
+	declared := map[string]bool{}
+	for _, v := range p.Vars {
+		if !validVar(v) {
+			return fmt.Errorf("prompts: %s@%d: bad var name %q", p.Name, p.Version, v)
+		}
+		if declared[v] {
+			return fmt.Errorf("prompts: %s@%d: duplicate var %q", p.Name, p.Version, v)
+		}
+		declared[v] = true
+		if !placeholders[v] {
+			return fmt.Errorf("prompts: %s@%d: declared var %q never used in body", p.Name, p.Version, v)
+		}
+	}
+	for ph := range placeholders {
+		if !declared[ph] {
+			return fmt.Errorf("prompts: %s@%d: body uses {{%s}} but vars does not declare it", p.Name, p.Version, ph)
+		}
+	}
+	for _, m := range p.Markers {
+		if m == "" {
+			return fmt.Errorf("prompts: %s@%d: empty marker", p.Name, p.Version)
+		}
+		if !strings.Contains(p.Body, m) {
+			return fmt.Errorf("prompts: %s@%d: declared marker %q missing from body", p.Name, p.Version, m)
+		}
+	}
+	need, ok := taskMarkers[p.Task]
+	if !ok {
+		return fmt.Errorf("prompts: %s@%d: unknown task %d", p.Name, p.Version, p.Task)
+	}
+	for _, m := range need {
+		if !strings.Contains(p.Body, m) {
+			return fmt.Errorf("prompts: %s@%d: task %s requires marker %q in the body", p.Name, p.Version, p.Task, m)
+		}
+		if !containsString(p.Markers, m) {
+			return fmt.Errorf("prompts: %s@%d: task %s requires %q in the markers list", p.Name, p.Version, p.Task, m)
+		}
+	}
+	if got := Classify(p.Body); got != p.Task {
+		return fmt.Errorf("prompts: %s@%d: body classifies as %s, frontmatter declares %s", p.Name, p.Version, got, p.Task)
+	}
+	return p.probeExtractors()
+}
+
+// probeExtractors renders the prompt with sentinel values and asserts the
+// package extractors recover them — the load-time proof that a prompt
+// edit cannot strand the simulated LLM's prompt parsing.
+func (p *Prompt) probeExtractors() error {
+	const probe = "__prompt_probe_question__?"
+	fill := func(graph string) map[string]string {
+		vals := map[string]string{}
+		for _, v := range p.Vars {
+			switch v {
+			case "question", "problem":
+				vals[v] = probe
+			case "relations":
+				vals[v] = "rel/alpha\nrel/beta"
+			default: // graph-shaped slots
+				vals[v] = graph
+			}
+		}
+		return vals
+	}
+	rendered, err := p.Render(fill("<a> <b> <c>"))
+	if err != nil {
+		return fmt.Errorf("prompts: %s@%d: probe render: %w", p.Name, p.Version, err)
+	}
+	fail := func(what string, err error) error {
+		return fmt.Errorf("prompts: %s@%d: %s extraction failed on probe render: %w", p.Name, p.Version, what, err)
+	}
+	switch p.Task {
+	case TaskPseudoGraph, TaskDirectTriples:
+		q, err := ExtractTaskQuestion(rendered)
+		if err != nil {
+			return fail("question", err)
+		}
+		if q != probe {
+			return fmt.Errorf("prompts: %s@%d: question extracted as %q, want the probe", p.Name, p.Version, q)
+		}
+	case TaskVerify:
+		parts, err := ExtractVerifyParts(rendered)
+		if err != nil {
+			return fail("verify-parts", err)
+		}
+		if parts.Problem != probe || parts.GoldGraph != "<a> <b> <c>" || parts.ToFix != "<a> <b> <c>" {
+			return fmt.Errorf("prompts: %s@%d: verify parts did not round-trip (%+v)", p.Name, p.Version, parts)
+		}
+	case TaskGraphQA:
+		parts, err := ExtractGraphQAParts(rendered)
+		if err != nil {
+			return fail("graph-qa parts", err)
+		}
+		if parts.Problem != probe || parts.Graph != "<a> <b> <c>" {
+			return fmt.Errorf("prompts: %s@%d: graph-qa parts did not round-trip (%+v)", p.Name, p.Version, parts)
+		}
+		// An empty graph must survive too: graph-backed answering falls
+		// back to parametric knowledge on exactly this case.
+		empty, err := p.Render(fill(""))
+		if err != nil {
+			return fail("empty-graph render", err)
+		}
+		ep, err := ExtractGraphQAParts(empty)
+		if err != nil {
+			return fail("empty-graph parts", err)
+		}
+		if ep.Graph != "" {
+			return fmt.Errorf("prompts: %s@%d: empty graph round-tripped as %q", p.Name, p.Version, ep.Graph)
+		}
+	case TaskIO, TaskCoT:
+		q, err := ExtractProblem(rendered)
+		if err != nil {
+			return fail("problem", err)
+		}
+		if q != probe {
+			return fmt.Errorf("prompts: %s@%d: problem extracted as %q, want the probe", p.Name, p.Version, q)
+		}
+	case TaskScoreRels:
+		q, rels, err := ExtractScoreRelations(rendered)
+		if err != nil {
+			return fail("score-relations", err)
+		}
+		if q != probe || len(rels) != 2 || rels[0] != "rel/alpha" || rels[1] != "rel/beta" {
+			return fmt.Errorf("prompts: %s@%d: score-relations did not round-trip (q=%q rels=%v)", p.Name, p.Version, q, rels)
+		}
+	}
+	return nil
+}
+
+// Render substitutes {{var}} placeholders with the given values. Every
+// placeholder must have a value; nothing else in the body is touched, and
+// substituted values are never re-scanned (a question containing "{{" is
+// data, not a template).
+func (p *Prompt) Render(vals map[string]string) (string, error) {
+	var b strings.Builder
+	body := p.Body
+	for {
+		i := strings.Index(body, "{{")
+		if i < 0 {
+			b.WriteString(body)
+			return b.String(), nil
+		}
+		j := strings.Index(body[i:], "}}")
+		if j < 0 {
+			return "", fmt.Errorf("unclosed {{ placeholder")
+		}
+		name := body[i+2 : i+j]
+		val, ok := vals[name]
+		if !ok {
+			return "", fmt.Errorf("no value for {{%s}}", name)
+		}
+		b.WriteString(body[:i])
+		b.WriteString(val)
+		body = body[i+j+2:]
+	}
+}
+
+// scanPlaceholders collects the {{var}} names used in a body.
+func scanPlaceholders(body string) (map[string]bool, error) {
+	out := map[string]bool{}
+	for {
+		i := strings.Index(body, "{{")
+		if i < 0 {
+			return out, nil
+		}
+		j := strings.Index(body[i:], "}}")
+		if j < 0 {
+			return nil, fmt.Errorf("unclosed {{ placeholder")
+		}
+		name := body[i+2 : i+j]
+		if !validVar(name) {
+			return nil, fmt.Errorf("bad placeholder {{%s}}", name)
+		}
+		out[name] = true
+		body = body[i+j+2:]
+	}
+}
+
+func validName(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func validVar(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseTaskKind maps a task name back to its TaskKind.
+func ParseTaskKind(s string) (TaskKind, error) {
+	for _, k := range []TaskKind{TaskIO, TaskCoT, TaskPseudoGraph, TaskDirectTriples, TaskVerify, TaskGraphQA, TaskScoreRels} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("prompts: unknown task %q", s)
+}
+
+// sortedNames returns map keys in sorted order (stable listings).
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

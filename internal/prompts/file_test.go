@@ -1,0 +1,152 @@
+package prompts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParsePromptErrors holds the parser to its clean-error contract on
+// the corpus of doctored files the prompt-lint CI job guards against.
+func TestParsePromptErrors(t *testing.T) {
+	valid := string(mustEmbedded(t, "defaults/io.v1.prompt"))
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the error
+	}{
+		{"empty", "", "frontmatter fence"},
+		{"no-fence", "name: io\n", "frontmatter fence"},
+		{"torn", "---\nname: io\nversion: 1\n", "unterminated"},
+		{"duplicate-key", strings.Replace(valid, "version: 1\n", "version: 1\nversion: 2\n", 1), "duplicate"},
+		{"unknown-key", strings.Replace(valid, "version: 1\n", "version: 1\nmodel: gpt\n", 1), "unknown frontmatter key"},
+		{"list-outside", "---\n  - stray\n---\nbody", "outside a list"},
+		{"scalar-list", strings.Replace(valid, "markers:\n", "markers: inline\n", 1), "must be a list"},
+		{"bad-version", strings.Replace(valid, "version: 1\n", "version: one\n", 1), "not an integer"},
+		{"bad-task", strings.Replace(valid, "task: io\n", "task: what\n", 1), "unknown task"},
+		{"bad-name", strings.Replace(valid, "name: io\n", "name: IO!\n", 1), "bad or missing name"},
+		{"missing-marker", strings.Replace(valid, "[answer]:", "(answer)", -1), "marker"},
+		{"undeclared-var", strings.Replace(valid, "{{question}}", "{{question}} {{extra}}", 1), "does not declare"},
+		{"unused-var", strings.Replace(valid, "vars:\n", "vars:\n  - spare\n", 1), "never used"},
+		{"unclosed-placeholder", strings.Replace(valid, "{{question}}", "{{question", 1), "unclosed"},
+		{"task-mismatch", strings.Replace(valid, "task: io\n", "task: cot\n", 1), "requires marker"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePrompt([]byte(c.data))
+			if err == nil {
+				t.Fatalf("ParsePrompt accepted a %s file", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFormatRoundTrip: every embedded default reparses from its own
+// Format output to an equal prompt, and Format is a fixed point.
+func TestFormatRoundTrip(t *testing.T) {
+	for _, in := range Default().List() {
+		p := mustGet(t, in.Name, in.Version)
+		out := p.Format()
+		p2, err := ParsePrompt(out)
+		if err != nil {
+			t.Fatalf("%s@%d: reparse of Format output: %v", in.Name, in.Version, err)
+		}
+		if !promptsEqual(p, p2) {
+			t.Fatalf("%s@%d: Format/Parse round trip changed the prompt", in.Name, in.Version)
+		}
+		if !bytes.Equal(out, p2.Format()) {
+			t.Fatalf("%s@%d: Format is not a fixed point", in.Name, in.Version)
+		}
+	}
+}
+
+func mustEmbedded(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := defaultsFS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func mustGet(t *testing.T, name string, version int) *Prompt {
+	t.Helper()
+	r := NewRegistry()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p := r.versions[name][version]
+	if p == nil {
+		t.Fatalf("no prompt %s@%d", name, version)
+	}
+	return p
+}
+
+func promptsEqual(a, b *Prompt) bool {
+	if a.Name != b.Name || a.Version != b.Version || a.Description != b.Description ||
+		a.Task != b.Task || a.Candidate != b.Candidate ||
+		a.Temperature != b.Temperature || a.HasTemperature != b.HasTemperature ||
+		a.Body != b.Body || len(a.Markers) != len(b.Markers) || len(a.Vars) != len(b.Vars) {
+		return false
+	}
+	for i := range a.Markers {
+		if a.Markers[i] != b.Markers[i] {
+			return false
+		}
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParsePrompt holds the parser's core contract under arbitrary input:
+// it either returns a clean error or a Prompt whose Format output
+// reparses to an equal Prompt with a fixed-point Format — never a panic,
+// never a partial result.
+func FuzzParsePrompt(f *testing.F) {
+	// Seed with every embedded default plus the doctored shapes the
+	// error-table test enumerates.
+	for _, name := range []string{
+		"defaults/pseudo-graph.v1.prompt", "defaults/direct-triples.v1.prompt",
+		"defaults/verify.v1.prompt", "defaults/answer-graph.v1.prompt",
+		"defaults/answer-graph.v2.prompt", "defaults/io.v1.prompt",
+		"defaults/cot.v1.prompt", "defaults/score-relations.v1.prompt",
+	} {
+		data, err := defaultsFS.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("---\nname: io\nversion: 1\n"))                      // torn frontmatter
+	f.Add([]byte("---\nname: io\nname: io\nversion: 1\n---\nbody"))   // duplicate key
+	f.Add([]byte("---\nname: x\nversion: 1\ntask: io\n---\nno task")) // missing markers
+	f.Add([]byte("---\n  - stray\n---\n"))                            // list item outside a list
+	f.Add([]byte("---\nmarkers: inline\n---\n"))                      // scalar where a list must be
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePrompt(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("ParsePrompt returned both a prompt and an error")
+			}
+			return
+		}
+		out := p.Format()
+		p2, err := ParsePrompt(out)
+		if err != nil {
+			t.Fatalf("Format output failed to reparse: %v\n%s", err, out)
+		}
+		if !promptsEqual(p, p2) {
+			t.Fatalf("round trip changed the prompt:\n%+v\n%+v", p, p2)
+		}
+		if !bytes.Equal(out, p2.Format()) {
+			t.Fatal("Format is not a fixed point after one round trip")
+		}
+	})
+}

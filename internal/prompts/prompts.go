@@ -5,6 +5,12 @@
 // the model sees exactly what a GPT endpoint would see, and callers parse
 // exactly what a GPT endpoint would return. Keeping the interface textual
 // is what makes the Fig. 2 structural-validity experiment meaningful.
+//
+// The templates themselves are not Go constants: they live in versioned
+// .prompt files (see file.go) under defaults/, loaded by the Registry
+// (registry.go). The package-level builders below render the shared
+// default registry's active versions; pipeline code that wants hot reload
+// and per-request A/B overrides threads an explicit *Registry instead.
 package prompts
 
 import (
@@ -28,173 +34,37 @@ const (
 	MarkerAnswer   = "[answer]:"
 )
 
-// pseudoGraphExamples reproduces the two in-context examples of Fig. 3
-// (abridged as in the paper, which omits part of the generated code).
-const pseudoGraphExamples = `[Example 1]:
-{Question}: Who has the largest area of the Great Lakes in the United States?
-<step 1> {Knowledge Planning}:
-To answer the question we need the Great Lakes, their individual areas, and the states they are located in.
-<step 2> {Knowledge Graph}:
-CREATE (superior:Lake {name: 'Lake Superior', area: 82000})
-CREATE (michigan:Lake {name: 'Lake Michigan', area: 58000})
-CREATE (huron:Lake {name: 'Lake Huron', area: 23000})
-CREATE (ontario:Lake {name: 'Lake Ontario', area: 19000})
-CREATE (erie:Lake {name: 'Lake Erie', area: 9600})
-[Example 2]:
-{Question}: Who covers more countries, the Andes or the Himalayas?
-<step 1> {Knowledge Planning}:
-I need the Andes and the Himalayas, and the countries they span.
-<step 2> {Knowledge Graph}:
-CREATE (andes:MountainRange {name: "Andes"})
-CREATE (himalayas:MountainRange {name: "Himalayas"})
-CREATE (andes)-[:COVERS]->(ecuador:Country {name: "Ecuador"})
-CREATE (andes)-[:COVERS]->(peru:Country {name: "Peru"})
-CREATE (himalayas)-[:COVERS]->(india:Country {name: "India"})
-CREATE (himalayas)-[:COVERS]->(nepal:Country {name: "Nepal"})
-`
-
 // PseudoGraph builds the Fig. 3 prompt: plan knowledge, then emit a Cypher
 // knowledge graph for the question.
-func PseudoGraph(question string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\n")
-	b.WriteString("You should answer the {Question} in the following steps:\n")
-	b.WriteString("<step 1> Find out what {Knowledge Planning} you need to solve the {Question}\n")
-	b.WriteString("<step 2> Strictly fill the {Knowledge Planning} to construct the {Knowledge Graph} as complete as possible " + MarkerCypher + "\n")
-	b.WriteString(pseudoGraphExamples)
-	b.WriteString("[Task]:\n")
-	b.WriteString(MarkerQuestion + " " + question + "\n")
-	return b.String()
-}
+func PseudoGraph(question string) string { return Default().View().PseudoGraph(question) }
 
 // DirectTriples builds the ablation prompt that asks for bare triples
 // instead of Cypher — the "direct generation" route whose structural
 // accuracy the paper measures at ~75 % versus ~98 % for the Cypher route.
 func DirectTriples(question string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\n")
-	b.WriteString("You should answer the {Question} by listing the facts you need. ")
-	b.WriteString("Please " + MarkerDirect + " in the form <subject> <relation> <object>, one per line.\n")
-	b.WriteString("[Example 1]:\n")
-	b.WriteString(MarkerQuestion + " Who has the largest area of the Great Lakes in the United States?\n")
-	b.WriteString("<Lake Superior> <area> <82000>\n<Lake Michigan> <area> <58000>\n<Lake Huron> <area> <23000>\n")
-	b.WriteString("[Example 2]:\n")
-	b.WriteString(MarkerQuestion + " Who covers more countries, the Andes or the Himalayas?\n")
-	b.WriteString("<Andes> <covers> <Peru>\n<Andes> <covers> <Chile>\n<Himalayas> <covers> <India>\n<Himalayas> <covers> <Nepal>\n")
-	b.WriteString("[Task]:\n")
-	b.WriteString(MarkerQuestion + " " + question + "\n")
-	return b.String()
+	return Default().View().DirectTriples(question)
 }
-
-// verifyExamples reproduces the two Fig. 4 in-context examples (abridged).
-const verifyExamples = `[Example]:
-[problem]: "Who has the largest area of the Great Lakes in the United States?"
-"gold graph":
-[entity_0]:
-<Lake Superior> <area> <82350>
-<Lake Superior> <connects with> <Keweenaw Waterway>
-[entity_1]:
-<Lake Michigan> <area> <57750>
-"graph to fix":
-<Lake Superior> <AREA> <82000>
-<Lake Michigan> <AREA> <58000>
-<Dongting Lake> <AREA> <259430>
-"Fixed graph":
-<Lake Superior> <area> <82350>
-<Lake Michigan> <area> <57750>
-[Example]:
-[problem]: "What is the population of China?"
-"gold graph":
-[entity_0]:
-<China> <population> <1375198619>
-<China> <population> <1443497378>
-"graph to fix":
-<China> <Number of population> <1463725000>
-"Fixed graph":
-<China> <population> <1443497378>
-`
 
 // Verify builds the Fig. 4 prompt: fix the pseudo-graph against the gold
 // graph. goldGraph should already be rendered in [entity_i] blocks with
 // higher-confidence subjects first (the paper places them closer to Gp).
 func Verify(problem, goldGraph, graphToFix string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\n")
-	b.WriteString(`Please based the "gold graph" below deleting redundant content from "graph to fix" and adding missing content to help me solve the [problem].` + "\n")
-	b.WriteString(verifyExamples)
-	b.WriteString("[Task]:\n")
-	b.WriteString(`If "graph to fix" has triples that are not in the "gold graph", just delete them! If they conflict, replace them with the ones in the "gold graph". For time-varying triples the "gold graph" lists values in chronological order, so pick the last one.` + "\n")
-	b.WriteString(MarkerProblem + " \"" + problem + "\"\n")
-	b.WriteString(MarkerGold + "\n" + goldGraph + "\n")
-	b.WriteString(MarkerToFix + "\n" + graphToFix + "\n")
-	b.WriteString(MarkerFixed + "\n")
-	return b.String()
+	return Default().View().Verify(problem, goldGraph, graphToFix)
 }
-
-// answerExamples reproduces the Fig. 5 in-context examples.
-const answerExamples = `[Example]:
-[problem]: "What is the population of China?"
-[graph]:
-<China> <population> <1442965000>
-<China> <population> <1443497378>
-[answer]: Based on the [graph] above, the population of China is {1443497378}.
-[Example]:
-[problem]: "Who has the largest area of the Great Lakes in the United States?"
-[graph]:
-<Lake Superior> <area> <82350>
-<Lake Michigan> <area> <57750>
-[answer]: Based on the [graph] above, the largest of the Great Lakes is {Lake Superior} which area is 82,350.
-`
 
 // AnswerFromGraph builds the Fig. 5 prompt: answer the problem from the
 // graph, marking the answer entity with {...}; with an empty graph the
 // model may use its own knowledge.
 func AnswerFromGraph(problem, graph string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\n")
-	b.WriteString("Please use the [graph] below to answer the [problem]. You need to mark your answer with \"{ }\".\n")
-	b.WriteString(answerExamples)
-	b.WriteString("[Task]:\n")
-	b.WriteString("For time-varying triples the [graph] lists values in chronological order, so pick the last one. If [graph] has no triples, answer with your own knowledge.\n")
-	b.WriteString(MarkerProblem + " \"" + problem + "\"\n")
-	b.WriteString(MarkerGraphQA + "\n" + graph + "\n")
-	b.WriteString(MarkerAnswer + " ")
-	return b.String()
-}
-
-// ioExamples are the six in-context examples the paper uses for the IO
-// baseline.
-var ioExamples = []string{
-	`[problem]: "What is the capital of France?"` + "\n[answer]: The capital of France is {Paris}.",
-	`[problem]: "Who wrote Hamlet?"` + "\n[answer]: Hamlet was written by {William Shakespeare}.",
-	`[problem]: "What is the population of China?"` + "\n[answer]: The population of China is {1443497378}.",
-	`[problem]: "Which river flows through Cairo?"` + "\n[answer]: The river that flows through Cairo is the {Nile}.",
-	`[problem]: "When was the University of Oxford established?"` + "\n[answer]: The University of Oxford was established in {1096}.",
-	`[problem]: "Who founded Microsoft?"` + "\n[answer]: Microsoft was founded by {Bill Gates}.",
+	return Default().View().AnswerFromGraph(problem, graph)
 }
 
 // IO builds the standard input-output prompt with six in-context examples.
-func IO(question string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\nAnswer the [problem]. Mark your answer with \"{ }\".\n")
-	for _, ex := range ioExamples {
-		b.WriteString("[Example]:\n" + ex + "\n")
-	}
-	b.WriteString("[Task]:\n" + MarkerProblem + " \"" + question + "\"\n" + MarkerAnswer + " ")
-	return b.String()
-}
+func IO(question string) string { return Default().View().IO(question) }
 
 // CoT builds the chain-of-thought prompt: six examples with explicit
 // reasoning, then "let's think step by step".
-func CoT(question string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\nAnswer the [problem]. First reason, then mark your answer with \"{ }\". Let's " + MarkerCoT + ".\n")
-	for _, ex := range ioExamples {
-		b.WriteString("[Example]:\n" + ex + "\n")
-	}
-	b.WriteString("[Task]:\n" + MarkerProblem + " \"" + question + "\"\n" + MarkerAnswer + " ")
-	return b.String()
-}
+func CoT(question string) string { return Default().View().CoT(question) }
 
 // ExtractTaskQuestion pulls the question out of a PseudoGraph or
 // DirectTriples prompt: the text after the final "{Question}:" marker.
@@ -295,16 +165,7 @@ const MarkerScoreRels = "[candidate relations]:"
 // ScoreRelations builds the ToG relation-pruning prompt: rate each
 // candidate relation's relevance to the question, one score per line.
 func ScoreRelations(question string, relations []string) string {
-	var b strings.Builder
-	b.WriteString("[Task description]:\n")
-	b.WriteString("Rate how relevant each candidate relation is for answering the [problem], one 'relation<TAB>score' line per relation, scores in [0,1].\n")
-	b.WriteString("[Task]:\n")
-	b.WriteString(MarkerProblem + " \"" + question + "\"\n")
-	b.WriteString(MarkerScoreRels + "\n")
-	for _, r := range relations {
-		b.WriteString(r + "\n")
-	}
-	return b.String()
+	return Default().View().ScoreRelations(question, relations)
 }
 
 // ExtractScoreRelations pulls the candidate relation list out of a

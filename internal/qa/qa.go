@@ -44,6 +44,11 @@ const (
 	// KindOpenList asks for all objects of Subject under Chain[0], with
 	// context ("What are the products of X?").
 	KindOpenList
+	// KindCount asks how many objects Subject has under Chain[0] ("How many
+	// countries does X cover?"); the answer is a cardinality, which the
+	// graph-based methods obtain by actually aggregating over retrieved
+	// triples.
+	KindCount
 )
 
 // String names the intent kind.
@@ -63,10 +68,46 @@ func (k IntentKind) String() string {
 		return "open-field"
 	case KindOpenList:
 		return "open-list"
+	case KindCount:
+		return "count"
 	default:
 		return "unknown"
 	}
 }
+
+// TemporalRef selects which revision of a time-varying fact a lookup asks
+// about. The zero value asks for the current revision, matching every
+// pre-existing template.
+type TemporalRef int
+
+const (
+	// TemporalCurrent asks for the latest revision (the default).
+	TemporalCurrent TemporalRef = iota
+	// TemporalPrevious asks for the revision immediately before the
+	// current one.
+	TemporalPrevious
+	// TemporalOriginal asks for the first recorded revision.
+	TemporalOriginal
+)
+
+// String names the temporal reference.
+func (t TemporalRef) String() string {
+	switch t {
+	case TemporalCurrent:
+		return "current"
+	case TemporalPrevious:
+		return "previous"
+	case TemporalOriginal:
+		return "original"
+	default:
+		return "unknown"
+	}
+}
+
+// Unanswerable is the canonical gold answer for questions whose premise
+// does not hold in the world (adversarial pack); graders match it like any
+// other marked answer.
+const Unanswerable = "unanswerable"
 
 // Intent is the machine-readable meaning of a question.
 type Intent struct {
@@ -78,6 +119,9 @@ type Intent struct {
 	// with (e FilterRel Subject), maximise ValueRel.
 	ValueRel  world.RelKey
 	FilterRel world.RelKey
+	// TRef selects which revision of a time-varying lookup the question
+	// asks about; zero means the current value.
+	TRef TemporalRef
 }
 
 // IsOpen reports whether the intent expects an open-ended (ROUGE-scored)
@@ -97,7 +141,7 @@ func (in Intent) Hops() int {
 	switch in.Kind {
 	case KindLookup:
 		return len(in.Chain)
-	case KindCompareCount, KindCompareValue, KindSuperlative:
+	case KindCompareCount, KindCompareValue, KindSuperlative, KindCount:
 		return 2
 	default:
 		return 1

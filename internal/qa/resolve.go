@@ -61,6 +61,9 @@ func (r *Resolver) walkChain(subject string, chain []world.RelKey) ([]string, bo
 func (r *Resolver) Gold(in Intent) ([]string, error) {
 	switch in.Kind {
 	case KindLookup:
+		if in.TRef != TemporalCurrent {
+			return r.temporalGold(in)
+		}
 		out, ok := r.walkChain(in.Subject, in.Chain)
 		if !ok {
 			return nil, fmt.Errorf("qa: unknown subject %q", in.Subject)
@@ -98,8 +101,50 @@ func (r *Resolver) Gold(in Intent) ([]string, error) {
 		return []string{in.Subject2}, nil
 	case KindSuperlative:
 		return r.superlative(in)
+	case KindCount:
+		out, ok := r.walkChain(in.Subject, in.Chain)
+		if !ok {
+			return nil, fmt.Errorf("qa: unknown subject %q", in.Subject)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("qa: %q has no %v facts to count", in.Subject, in.Chain)
+		}
+		return []string{strconv.Itoa(len(out))}, nil
 	default:
 		return nil, fmt.Errorf("qa: Gold is undefined for open intent %s", in.Kind)
+	}
+}
+
+// temporalGold resolves a non-current revision of a time-varying single-hop
+// lookup: the previous revision needs at least two recorded values, the
+// original takes the first.
+func (r *Resolver) temporalGold(in Intent) ([]string, error) {
+	if len(in.Chain) != 1 {
+		return nil, fmt.Errorf("qa: temporal lookup requires a single-hop chain, got %v", in.Chain)
+	}
+	rel := in.Chain[0]
+	info, ok := world.RelByKey(rel)
+	if !ok || !info.TimeVarying {
+		return nil, fmt.Errorf("qa: temporal lookup over non-time-varying relation %s", rel)
+	}
+	ent, ok := r.W.EntityByName(in.Subject)
+	if !ok {
+		return nil, fmt.Errorf("qa: unknown subject %q", in.Subject)
+	}
+	facts := r.W.FactsSR(ent.ID, rel)
+	switch in.TRef {
+	case TemporalPrevious:
+		if len(facts) < 2 {
+			return nil, fmt.Errorf("qa: %q has no previous %s revision", in.Subject, rel)
+		}
+		return []string{r.W.ObjectSurface(facts[len(facts)-2])}, nil
+	case TemporalOriginal:
+		if len(facts) == 0 {
+			return nil, fmt.Errorf("qa: %q has no %s facts", in.Subject, rel)
+		}
+		return []string{r.W.ObjectSurface(facts[0])}, nil
+	default:
+		return nil, fmt.Errorf("qa: unsupported temporal reference %v", in.TRef)
 	}
 }
 
@@ -156,7 +201,7 @@ func (r *Resolver) superlative(in Intent) ([]string, error) {
 // use this.
 func (r *Resolver) SupportFacts(in Intent) []world.Fact {
 	switch in.Kind {
-	case KindLookup:
+	case KindLookup, KindCount:
 		return r.chainFacts(in.Subject, in.Chain)
 	case KindCompareCount, KindCompareValue:
 		out := r.chainFacts(in.Subject, in.Chain)

@@ -20,6 +20,7 @@ type Template struct {
 	Chain     []world.RelKey
 	ValueRel  world.RelKey
 	FilterRel world.RelKey
+	TRef      TemporalRef
 	Prefix    string
 	Infix     string // empty for one-slot templates
 	Suffix    string
@@ -209,6 +210,57 @@ var SuperlativeTemplates = []Template{
 		Prefix: "Which river flowing through ", Suffix: " is the longest?"},
 }
 
+// TemporalTemplates ask about non-current revisions of time-varying facts.
+// Population is the world's only time-varying relation, so every form
+// chains through it; TRef distinguishes which revision is wanted.
+var TemporalTemplates = []Template{
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelPopulation}, TRef: TemporalPrevious,
+		Prefix: "What was the previous population of ", Suffix: "?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelPopulation}, TRef: TemporalPrevious,
+		Prefix: "What was the population of ", Suffix: " before the most recent update?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelPopulation}, TRef: TemporalOriginal,
+		Prefix: "What was the original population of ", Suffix: "?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelPopulation}, TRef: TemporalOriginal,
+		Prefix: "What was the population of ", Suffix: " when first recorded?"},
+}
+
+// CountTemplates ask for cardinalities over multi-valued relations — the
+// aggregation pack. Graph-based methods answer these by counting retrieved
+// triples rather than recalling a number.
+var CountTemplates = []Template{
+	{Kind: KindCount, Chain: []world.RelKey{world.RelCovers},
+		Prefix: "How many countries does ", Suffix: " cover?"},
+	{Kind: KindCount, Chain: []world.RelKey{world.RelFlowsThrough},
+		Prefix: "How many countries does ", Suffix: " flow through?"},
+	{Kind: KindCount, Chain: []world.RelKey{world.RelAward},
+		Prefix: "How many awards did ", Suffix: " receive?"},
+	{Kind: KindCount, Chain: []world.RelKey{world.RelNotableWork},
+		Prefix: "How many notable works does ", Suffix: " have?"},
+	{Kind: KindCount, Chain: []world.RelKey{world.RelProduct},
+		Prefix: "How many products does ", Suffix: " make?"},
+	{Kind: KindCount, Chain: []world.RelKey{world.RelInflow},
+		Prefix: "How many rivers flow into ", Suffix: "?"},
+}
+
+// NoisyTemplates are chatty, informally-phrased paraphrases of single-hop
+// lookups: filler words, hedges and lowercase openings. They remain
+// invertible (distinct prefixes/suffixes), modelling surface noise rather
+// than ambiguity.
+var NoisyTemplates = []Template{
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelBornIn},
+		Prefix: "hey, quick question - where was ", Suffix: " born?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelPopulation},
+		Prefix: "i was wondering, what is the population of ", Suffix: " these days?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelCapital},
+		Prefix: "umm, could you tell me the capital of ", Suffix: " please?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelAward},
+		Prefix: "so, what award did ", Suffix: " end up winning?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelFoundedBy},
+		Prefix: "ok quick check: who founded ", Suffix: " again?"},
+	{Kind: KindLookup, Chain: []world.RelKey{world.RelOfficialLang},
+		Prefix: "btw what is the official language of ", Suffix: "?"},
+}
+
 // OpenTemplates are the Nature-Questions-like open-ended forms.
 var OpenTemplates = []Template{
 	{Kind: KindOpenField,
@@ -239,6 +291,9 @@ func allTemplates() []Template {
 	all = append(all, CompareTemplates...)
 	all = append(all, SuperlativeTemplates...)
 	all = append(all, OpenTemplates...)
+	all = append(all, TemporalTemplates...)
+	all = append(all, CountTemplates...)
+	all = append(all, NoisyTemplates...)
 	return all
 }
 
@@ -270,6 +325,7 @@ func Parse(text string) (Intent, error) {
 			Chain:     t.Chain,
 			ValueRel:  t.ValueRel,
 			FilterRel: t.FilterRel,
+			TRef:      t.TRef,
 		}
 		return in, nil
 	}

@@ -1,0 +1,102 @@
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/kg"
+	"repro/internal/trace"
+)
+
+// SuiteFromTraces converts a live trace log (the JSONL a FileStore or
+// serve.WithTrace writes) into a replay suite: every decoded record is
+// stripped of its wall time and store identity and restamped with the
+// suite's deterministic IDs. Gold material stays exactly as recorded —
+// live traffic usually carries none, so a converted suite replays for
+// drift (answers, epochs, usage), not accuracy.
+//
+// The caller supplies the environment pin (seed/quick/note) via opts,
+// because a trace log does not record the world it ran against. Prompt
+// versions, in contrast, ARE recorded per request, and the converter
+// promotes them into the suite meta — but only when every record that
+// carries them agrees; a log spanning a prompt bump cannot be pinned to
+// one version set and must be split first.
+//
+// Unlike the trace store's crash recovery, conversion is strict: a torn
+// or malformed line is a hard error, as is a record that could never
+// replay (no question, no method, or an unknown KG source).
+func SuiteFromTraces(path string, opts RecordOptions) (Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Suite{}, fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+
+	s := Suite{Meta: SuiteMeta{
+		Version: SuiteVersion, Seed: opts.Seed, Quick: opts.Quick, Note: opts.Note,
+	}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for line := 1; sc.Scan(); line++ {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		rec, err := trace.Decode(sc.Bytes())
+		if err != nil {
+			return Suite{}, fmt.Errorf("replay: %s line %d: %w", path, line, err)
+		}
+		if err := replayable(rec); err != nil {
+			return Suite{}, fmt.Errorf("replay: %s line %d: %w", path, line, err)
+		}
+		if len(rec.PromptVersions) > 0 {
+			switch {
+			case s.Meta.PromptVersions == nil:
+				s.Meta.PromptVersions = rec.PromptVersions
+			case !reflect.DeepEqual(s.Meta.PromptVersions, rec.PromptVersions):
+				return Suite{}, fmt.Errorf(
+					"replay: %s line %d: prompt versions %s conflict with earlier records' %s; the log spans a prompt change — split it before converting",
+					path, line, formatVersions(rec.PromptVersions), formatVersions(s.Meta.PromptVersions))
+			}
+		}
+		// Zero wall time, deterministic IDs: the suite contract.
+		rec.Time = ""
+		rec = rec.Stamp(fmt.Sprintf("r%06d", len(s.Records)+1), time.Time{})
+		s.Records = append(s.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return Suite{}, fmt.Errorf("replay: reading %s: %w", path, err)
+	}
+	if len(s.Records) == 0 {
+		return Suite{}, fmt.Errorf("replay: %s holds no trace records", path)
+	}
+	return s, nil
+}
+
+// replayable rejects a trace record the replay harness could not re-run.
+func replayable(rec trace.Record) error {
+	if strings.TrimSpace(rec.Question) == "" {
+		return fmt.Errorf("record has no question")
+	}
+	if rec.Method == "" {
+		return fmt.Errorf("record has no method")
+	}
+	if src, err := kg.ParseSource(rec.KG); err != nil || src == kg.SourceUnknown {
+		return fmt.Errorf("record has unreplayable kg %q", rec.KG)
+	}
+	return nil
+}
+
+func formatVersions(vs map[string]string) string {
+	pairs := make([]string, 0, len(vs))
+	for k, v := range vs {
+		pairs = append(pairs, k+"@"+v)
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, " ") + "}"
+}

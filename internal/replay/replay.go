@@ -70,7 +70,12 @@ func RecordSuite(ctx context.Context, opts RecordOptions) (Suite, error) {
 	}
 	defer env.Close()
 
-	s := Suite{Meta: SuiteMeta{Version: SuiteVersion, Seed: opts.Seed, Quick: opts.Quick, Note: opts.Note}}
+	s := Suite{Meta: SuiteMeta{
+		Version: SuiteVersion, Seed: opts.Seed, Quick: opts.Quick, Note: opts.Note,
+		// Pin the active prompt versions so replaying the suite restores
+		// them even after prompt bumps land in the defaults.
+		PromptVersions: env.Prompts.View().Versions(),
+	}}
 	for _, ds := range env.Suite.Datasets() {
 		questions := ds.Questions
 		if opts.PerDataset > 0 && len(questions) > opts.PerDataset {
@@ -142,6 +147,14 @@ func Run(ctx context.Context, s Suite) (Artifact, error) {
 		return Artifact{}, fmt.Errorf("replay: %w", err)
 	}
 	defer env.Close()
+	// Restore the prompt versions the suite was recorded under: a prompt
+	// bump must show up as an explicit meta change, never as a silent
+	// replay drift.
+	if len(s.Meta.PromptVersions) > 0 {
+		if err := env.Prompts.ApplyVersions(s.Meta.PromptVersions); err != nil {
+			return Artifact{}, fmt.Errorf("replay: restoring suite prompt versions: %w", err)
+		}
+	}
 
 	agg := map[string]*methodAgg{}
 	for i, rec := range s.Records {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -37,9 +38,9 @@ func testSuite(t *testing.T) Suite {
 
 func TestRecordSuiteShape(t *testing.T) {
 	s := testSuite(t)
-	// 3 datasets x 3 methods x 2 questions.
-	if len(s.Records) != 18 {
-		t.Fatalf("want 18 records, got %d", len(s.Records))
+	// 7 datasets (paper trio + 4 scenario packs) x 3 methods x 2 questions.
+	if len(s.Records) != 42 {
+		t.Fatalf("want 42 records, got %d", len(s.Records))
 	}
 	if s.Meta.Seed != 42 || !s.Meta.Quick || s.Meta.Version != SuiteVersion {
 		t.Fatalf("meta wrong: %+v", s.Meta)
@@ -74,7 +75,7 @@ func TestSuiteRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Meta != s.Meta {
+	if !reflect.DeepEqual(back.Meta, s.Meta) {
 		t.Fatalf("meta diverged: %+v vs %+v", back.Meta, s.Meta)
 	}
 	if len(back.Records) != len(s.Records) {
@@ -132,8 +133,8 @@ func TestReplayMatchesRecording(t *testing.T) {
 		t.Fatalf("methods %v, want 3", art.Methods)
 	}
 	for m, r := range art.Methods {
-		if r.N != 6 {
-			t.Errorf("%s: n=%d, want 6", m, r.N)
+		if r.N != 14 {
+			t.Errorf("%s: n=%d, want 14", m, r.N)
 		}
 		if r.AnswerDrift != 0 || r.EpochDrift != 0 {
 			t.Errorf("%s: drift on an unchanged binary: %+v", m, r)

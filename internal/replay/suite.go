@@ -43,6 +43,12 @@ type SuiteMeta struct {
 	// Quick selects the small test-scale environment (true for the
 	// committed CI suite; false for paper-scale recordings).
 	Quick bool `json:"quick"`
+	// PromptVersions pins the active prompt versions the suite was
+	// recorded under (prompt name -> version string); replay applies them
+	// to its registry before re-running, so a prompt bump cannot silently
+	// change what a committed suite replays. Empty means the embedded
+	// defaults' active set (pre-registry suites).
+	PromptVersions map[string]string `json:"prompt_versions,omitempty"`
 	// Note is free-form provenance (who recorded it, why).
 	Note string `json:"note,omitempty"`
 }

@@ -89,6 +89,11 @@ type Record struct {
 	PromptTokens     int   `json:"prompt_tokens"`
 	CompletionTokens int   `json:"completion_tokens"`
 
+	// PromptVersions pins the exact prompt versions the request rendered
+	// with (prompt name -> version string), so replay can restore them and
+	// diffs can attribute a regression to a prompt change.
+	PromptVersions map[string]string `json:"prompt_versions,omitempty"`
+
 	// Stages are the run's per-stage spans, in execution order.
 	Stages []exec.Span `json:"stages,omitempty"`
 
@@ -140,6 +145,12 @@ func Build(q answer.Query, res answer.Result, err error, m Meta) Record {
 	}
 	if rec.Method == "" {
 		rec.Method = q.Method
+	}
+	if len(res.PromptVersions) > 0 {
+		rec.PromptVersions = make(map[string]string, len(res.PromptVersions))
+		for k, v := range res.PromptVersions {
+			rec.PromptVersions[k] = v
+		}
 	}
 	if rec.Model == "" {
 		rec.Model = q.Model
