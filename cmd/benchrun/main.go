@@ -22,14 +22,44 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1|fig2|table2|table3|table4|table5|scenarios|sweeps|all")
+		"which experiment to run: table1|fig2|table2|table3|table4|table5|scenarios|sweeps|recall|all")
 	quick := flag.Bool("quick", false, "use the small test-scale environment")
 	seed := flag.Int64("seed", 42, "world/model seed")
 	workers := flag.Int("workers", 8, "evaluation parallelism")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	csvPath := flag.String("csv", "", "also write a machine-readable CSV of every Table II cell to this path")
 	outPath := flag.String("out", "", "also write a BENCH_*.json perf-trajectory artifact (per-method accuracy, latency p50/p95, token cost) to this path")
+	recallN := flag.Int("recall-n", 0, "recall experiment: corpus size (0 = default 100000)")
+	recallQueries := flag.Int("recall-queries", 0, "recall experiment: probe count (0 = default 200)")
+	recallFloor := flag.Float64("recall-floor", 0.95, "recall experiment: minimum recall@k; below it the run exits non-zero (0 = no gate)")
+	recallMinSpeedup := flag.Float64("recall-min-speedup", 5, "recall experiment: minimum exact/hnsw p50 ratio; below it the run exits non-zero (0 = no gate)")
+	annM := flag.Int("ann-m", 0, "recall experiment: HNSW M, neighbours per node (0 = vecstore default)")
+	annEfc := flag.Int("ann-efc", 0, "recall experiment: HNSW efConstruction beam (0 = vecstore default)")
+	annEf := flag.Int("ann-ef", 0, "recall experiment: HNSW efSearch beam (0 = vecstore default)")
 	flag.Parse()
+
+	if *experiment == "recall" {
+		// Standalone: no environment to build, just the two indexes.
+		opts := bench.RecallOptions{
+			N: *recallN, Queries: *recallQueries,
+			M: *annM, EfConstruction: *annEfc, EfSearch: *annEf,
+			Seed: *seed, Floor: *recallFloor, MinSpeedup: *recallMinSpeedup,
+		}
+		pr, err := bench.RunRecall(opts, os.Stdout)
+		if *outPath != "" {
+			art := bench.BuildRecallPerf(pr, *seed, time.Now())
+			if werr := writeTo(*outPath, art.Write); werr != nil {
+				fmt.Fprintln(os.Stderr, "benchrun:", werr)
+				os.Exit(1)
+			}
+			fmt.Println("perf-trajectory artifact written to", *outPath)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -128,6 +128,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently served answer/batch requests; arrivals past it queue, then shed with a fast 429 (0 = unbounded)")
 	maxQueue := flag.Int("max-queue", 32, "max requests waiting for an in-flight slot before load shedding begins (only meaningful with -max-inflight > 0)")
 	hedgeBudget := flag.Duration("hedge-budget", 0, "retrieval tail-latency budget: a vector search exceeding it launches a hedged duplicate and the first result wins (0 = no hedging)")
+	ann := flag.Bool("ann", false, "serve vector retrieval through an HNSW graph over each substrate's compacted base (deltas stay exact-scan until the next compaction); off = exact scans only")
+	annEf := flag.Int("ann-ef", 0, "HNSW search beam width; wider = better recall, slower (0 = vecstore default; only meaningful with -ann)")
 	flag.Parse()
 
 	fsyncPolicy, err := substrate.ParseSyncPolicy(*fsync)
@@ -143,6 +145,10 @@ func main() {
 			Dir:                *dataDir,
 			Fsync:              fsyncPolicy,
 			CheckpointInterval: *checkpointInterval,
+		},
+		ANN: substrate.ANNConfig{
+			Enabled:  *ann,
+			EfSearch: *annEf,
 		},
 	}
 	admission := serve.AdmissionConfig{

@@ -132,6 +132,8 @@ func cmdRun(args []string) error {
 	suitePath := fs.String("suite", "", "recorded suite to replay (required)")
 	out := fs.String("out", "", "artifact file to write (stdout when empty)")
 	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	ann := fs.Bool("ann", false, "serve retrieval through the HNSW layer; the artifact must stay byte-identical to an exact-scan run")
+	annEf := fs.Int("ann-ef", 0, "HNSW search beam width (0 = vecstore default; only meaningful with -ann)")
 	fs.Parse(args)
 	if *suitePath == "" {
 		return fmt.Errorf("run: -suite is required")
@@ -143,8 +145,12 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	var opts []replay.RunOption
+	if *ann {
+		opts = append(opts, replay.WithANN(*annEf))
+	}
 	start := time.Now()
-	art, err := replay.Run(ctx, suite)
+	art, err := replay.Run(ctx, suite, opts...)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,38 @@ type PerfArtifact struct {
 	// against a live server — the traffic-realistic counterpart to the
 	// bench cells (cmd/loadgen emits these; benchrun artifacts omit it).
 	Load *PerfLoad `json:"load,omitempty"`
+	// Recall, when present, is a recall-gate run's summary: HNSW answer
+	// quality and p50 speedup against the exact scan over the same
+	// corpus (benchrun -experiment recall emits these).
+	Recall *PerfRecall `json:"recall,omitempty"`
+}
+
+// PerfRecall is one ANN recall-gate evaluation for the perf trajectory.
+type PerfRecall struct {
+	Corpus         int     `json:"corpus"`
+	Queries        int     `json:"queries"`
+	K              int     `json:"k"`
+	M              int     `json:"m"`
+	EfConstruction int     `json:"ef_construction"`
+	EfSearch       int     `json:"ef_search"`
+	RecallAt1      float64 `json:"recall_at_1"`
+	RecallAtK      float64 `json:"recall_at_k"`
+	ExactP50MS     float64 `json:"exact_p50_ms"`
+	ANNP50MS       float64 `json:"ann_p50_ms"`
+	Speedup        float64 `json:"speedup"`
+	BuildMS        int64   `json:"build_ms"`
+}
+
+// BuildRecallPerf wraps a recall-gate result as a standalone artifact
+// (no accuracy cells or serving aggregates — no environment ran).
+func BuildRecallPerf(pr PerfRecall, seed int64, now time.Time) PerfArtifact {
+	return PerfArtifact{
+		GeneratedAt: now.UTC().Format(time.RFC3339),
+		Seed:        seed,
+		Cells:       []PerfCell{},
+		Serving:     []PerfMethod{},
+		Recall:      &pr,
+	}
 }
 
 // PerfLoad is one load-generation run's client-side summary: what was

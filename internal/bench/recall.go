@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+	"repro/internal/vecstore"
+)
+
+// Recall experiment: build an HNSW graph and the exact sharded scan over
+// the same synthetic corpus, probe both with the same queries, and report
+// recall@1 / recall@k plus the p50 latency ratio. Unlike the accuracy
+// tables this experiment gates: when a floor or minimum speedup is set
+// and missed, RunRecall returns an error so CI fails the run. The graph
+// is probed without its exact-fallback hatch, so a deliberately starved
+// beam (the CI trip-wire run) loses recall instead of being rescued.
+
+// RecallOptions parameterise one recall-gate run.
+type RecallOptions struct {
+	// N is the corpus size; Queries the number of probes; K the depth.
+	N       int
+	Queries int
+	K       int
+	// HNSW build/search parameters (zero = vecstore defaults).
+	M              int
+	EfConstruction int
+	EfSearch       int
+	Seed           int64
+	// Floor is the minimum acceptable recall@K and MinSpeedup the
+	// minimum exact/graph p50 ratio; zero disables each gate.
+	Floor      float64
+	MinSpeedup float64
+}
+
+// DefaultRecallOptions is the CI-gate configuration: a corpus large
+// enough that the sublinear graph separates clearly from the linear scan
+// even on small CI boxes, with the acceptance thresholds from the issue.
+func DefaultRecallOptions() RecallOptions {
+	return RecallOptions{
+		N:              100000,
+		Queries:        200,
+		K:              10,
+		M:              vecstore.DefaultHNSWM,
+		EfConstruction: vecstore.DefaultHNSWEfConstruction,
+		EfSearch:       vecstore.DefaultHNSWEfSearch,
+		Seed:           vecstore.DefaultHNSWSeed,
+		Floor:          0.95,
+		MinSpeedup:     5,
+	}
+}
+
+// recallWords are the pools the synthetic corpus draws from. Realism is
+// not the point — variety is: enough distinct tokens that the embedding
+// space has structure (clusters around shared words) instead of
+// degenerating into near-orthogonal noise.
+var (
+	recallAdjs = []string{
+		"crimson", "hollow", "ancient", "silent", "northern", "gilded",
+		"frozen", "verdant", "obsidian", "amber", "restless", "pale",
+		"sunken", "howling", "marble", "iron",
+	}
+	recallNouns = []string{
+		"reservoir", "observatory", "archive", "foundry", "basin",
+		"expedition", "dynasty", "glacier", "aqueduct", "citadel",
+		"meridian", "plateau", "garrison", "orchard", "causeway", "strait",
+	}
+	recallRels = []string{
+		"located in", "bordered by", "discovered by", "named after",
+		"flows into", "classified as", "governed by", "measured against",
+		"connected to", "derived from", "succeeded by", "maintained by",
+	}
+	recallPlaces = []string{
+		"Kareth Province", "the Veldan Coast", "Upper Morvane",
+		"the Tashir Valley", "Old Quarra", "the Ilmen Reach",
+		"Port Senna", "the Dravik Steppe", "Lake Othune", "Cape Virell",
+		"the Sorrel Highlands", "New Calden",
+	}
+)
+
+// RecallCorpus generates a deterministic synthetic corpus of n triples:
+// adjective–noun entities related to shared places, so queries about an
+// entity have a dense neighbourhood of plausible near-misses.
+func RecallCorpus(n int, seed int64) []kg.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	triples := make([]kg.Triple, n)
+	for i := range triples {
+		subj := fmt.Sprintf("the %s %s %d",
+			recallAdjs[rng.Intn(len(recallAdjs))],
+			recallNouns[rng.Intn(len(recallNouns))], i)
+		var obj string
+		if rng.Intn(2) == 0 {
+			obj = recallPlaces[rng.Intn(len(recallPlaces))]
+		} else {
+			obj = fmt.Sprintf("the %s %s %d",
+				recallAdjs[rng.Intn(len(recallAdjs))],
+				recallNouns[rng.Intn(len(recallNouns))], rng.Intn(n))
+		}
+		triples[i] = kg.Triple{
+			Subject:  subj,
+			Relation: recallRels[rng.Intn(len(recallRels))],
+			Object:   obj,
+			Source:   kg.SourceWikidata,
+		}
+	}
+	return triples
+}
+
+// RecallQueries derives q probe strings from the corpus: each takes a
+// random triple's subject and relation (the shape of the pipeline's
+// pseudo-triple queries) and appends a random place, so the exact top-k
+// is a genuine nearest-neighbour set rather than a single perfect match.
+func RecallQueries(corpus []kg.Triple, q int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed + 1))
+	out := make([]string, q)
+	for i := range out {
+		t := corpus[rng.Intn(len(corpus))]
+		out[i] = fmt.Sprintf("%s %s %s", t.Subject, t.Relation,
+			recallPlaces[rng.Intn(len(recallPlaces))])
+	}
+	return out
+}
+
+// RunRecall executes one recall-gate run: build both indexes, evaluate,
+// print the report, and enforce the configured thresholds. The returned
+// PerfRecall is the artifact section regardless of gate outcome.
+func RunRecall(opts RecallOptions, w io.Writer) (PerfRecall, error) {
+	def := DefaultRecallOptions()
+	if opts.N <= 0 {
+		opts.N = def.N
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = def.Queries
+	}
+	if opts.K <= 0 {
+		opts.K = def.K
+	}
+	cfg := vecstore.HNSWConfig{
+		M:              opts.M,
+		EfConstruction: opts.EfConstruction,
+		EfSearch:       opts.EfSearch,
+		Seed:           opts.Seed,
+	}
+
+	fmt.Fprintf(w, "recall gate: corpus=%d queries=%d k=%d\n", opts.N, opts.Queries, opts.K)
+	corpus := RecallCorpus(opts.N, opts.Seed)
+	queries := RecallQueries(corpus, opts.Queries, opts.Seed)
+
+	enc := embed.NewEncoder()
+	t0 := time.Now()
+	exact := vecstore.BuildSharded(enc, corpus, 0)
+	exactBuild := time.Since(t0)
+	t1 := time.Now()
+	graph := vecstore.BuildHNSW(enc, corpus, cfg)
+	graphBuild := time.Since(t1)
+	built := graph.Config()
+	fmt.Fprintf(w, "built exact scan (%d shards) in %v, hnsw (M=%d efC=%d) in %v\n",
+		exact.Shards(), exactBuild.Round(time.Millisecond),
+		built.M, built.EfConstruction, graphBuild.Round(time.Millisecond))
+
+	res := vecstore.EvalRecall(graph, exact, queries, opts.K, built.EfSearch)
+	fmt.Fprintf(w, "recall@1=%.3f recall@%d=%.3f  exact p50=%v  hnsw p50=%v  speedup=%.1fx (ef=%d)\n",
+		res.RecallAt1, opts.K, res.RecallAtK,
+		res.ExactP50.Round(time.Microsecond), res.ANNP50.Round(time.Microsecond),
+		res.Speedup, built.EfSearch)
+
+	pr := PerfRecall{
+		Corpus:         res.Corpus,
+		Queries:        res.Queries,
+		K:              res.K,
+		M:              built.M,
+		EfConstruction: built.EfConstruction,
+		EfSearch:       built.EfSearch,
+		RecallAt1:      res.RecallAt1,
+		RecallAtK:      res.RecallAtK,
+		ExactP50MS:     float64(res.ExactP50) / float64(time.Millisecond),
+		ANNP50MS:       float64(res.ANNP50) / float64(time.Millisecond),
+		Speedup:        res.Speedup,
+		BuildMS:        graphBuild.Milliseconds(),
+	}
+	if opts.Floor > 0 && res.RecallAtK < opts.Floor {
+		return pr, fmt.Errorf("recall gate: recall@%d %.3f below floor %.2f", opts.K, res.RecallAtK, opts.Floor)
+	}
+	if opts.MinSpeedup > 0 && res.Speedup < opts.MinSpeedup {
+		return pr, fmt.Errorf("recall gate: speedup %.1fx below required %.1fx", res.Speedup, opts.MinSpeedup)
+	}
+	fmt.Fprintln(w, "recall gate: PASS")
+	return pr, nil
+}

@@ -39,6 +39,26 @@ func (v Vector) Dot(u Vector) float64 {
 	return s
 }
 
+// NormDot is the scan-loop scoring kernel: the inner product of two
+// encoder-normalised vectors, i.e. their cosine similarity. It is Dot
+// hoisted out of the hot path — pointer arguments avoid the two 1 KiB
+// array copies a value-receiver call makes per candidate, and the body is
+// unrolled over four independent accumulators so the multiplies pipeline
+// instead of serialising on one dependency chain. Callers own the
+// normalisation contract: Encoder.Encode output (and vectors persisted
+// from it) is always normalised, so no per-call renormalisation happens
+// here.
+func NormDot(a, b *Vector) float64 {
+	var s0, s1, s2, s3 float64
+	for i := 0; i <= Dim-4; i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
 // Norm returns the L2 norm.
 func (v Vector) Norm() float64 {
 	var s float64

@@ -165,3 +165,52 @@ func TestVectorNormZero(t *testing.T) {
 		t.Error("Cosine of zero vectors should be 0")
 	}
 }
+
+// TestNormDotMatchesDot pins the kernel to the reference implementation:
+// over encoder output the unrolled NormDot must agree with Vector.Dot to
+// float64 round-off (the four-accumulator reordering moves only the last
+// bits of a 256-term sum).
+func TestNormDotMatchesDot(t *testing.T) {
+	enc := NewEncoder()
+	texts := []string{
+		"China population 1443497378",
+		"Alan Turing field computer science",
+		"people/person/place_of_birth London",
+		"Lake Superior area 82350",
+	}
+	for _, a := range texts {
+		for _, b := range texts {
+			va, vb := enc.Encode(a), enc.Encode(b)
+			ref := va.Dot(vb)
+			got := NormDot(&va, &vb)
+			if diff := math.Abs(ref - got); diff > 1e-12 {
+				t.Errorf("NormDot(%q, %q) = %v, Dot = %v (diff %v)", a, b, got, ref, diff)
+			}
+		}
+	}
+}
+
+// BenchmarkDotKernel compares the value-receiver Dot against the NormDot
+// scan kernel — the per-candidate cost of every exact scan and HNSW edge
+// expansion.
+func BenchmarkDotKernel(b *testing.B) {
+	enc := NewEncoder()
+	q := enc.Encode("entity 4242 of cluster 13 population")
+	v := enc.Encode("entity 4241 of cluster 13 population")
+	b.Run("Dot", func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += q.Dot(v)
+		}
+		sinkFloat = s
+	})
+	b.Run("NormDot", func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += NormDot(&q, &v)
+		}
+		sinkFloat = s
+	})
+}
+
+var sinkFloat float64

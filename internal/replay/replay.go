@@ -40,15 +40,33 @@ func DefaultMethods() []string {
 	}
 }
 
+// RunOption adjusts the replay environment without touching the suite
+// pin (seed/scale stay the suite's own).
+type RunOption func(*bench.EnvConfig)
+
+// WithANN routes the replayed suite's vector retrieval through the HNSW
+// layer (ef = search beam, 0 = default). Replay artifacts are
+// deterministic, so diffing an ANN run against an exact-scan baseline
+// proves the approximate path changes nothing the suite can observe.
+func WithANN(ef int) RunOption {
+	return func(cfg *bench.EnvConfig) {
+		cfg.Substrate.ANN.Enabled = true
+		cfg.Substrate.ANN.EfSearch = ef
+	}
+}
+
 // newEnv assembles the replay environment for a (seed, quick) pin. The
 // answer cache stays off and no scheduler is configured: every replayed
 // request must re-run its method for real, under no admission queueing.
-func newEnv(seed int64, quick bool) (*bench.Env, error) {
+func newEnv(seed int64, quick bool, opts ...RunOption) (*bench.Env, error) {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
 	}
 	cfg.WorldSeed = seed
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return bench.NewEnv(cfg)
 }
 
@@ -141,8 +159,8 @@ func buildQuery(method, model string, q qa.Question) answer.Query {
 // sequentially and re-scored against its recorded gold material. The
 // returned artifact is deterministic — see the package comment for the
 // contract.
-func Run(ctx context.Context, s Suite) (Artifact, error) {
-	env, err := newEnv(s.Meta.Seed, s.Meta.Quick)
+func Run(ctx context.Context, s Suite, opts ...RunOption) (Artifact, error) {
+	env, err := newEnv(s.Meta.Seed, s.Meta.Quick, opts...)
 	if err != nil {
 		return Artifact{}, fmt.Errorf("replay: %w", err)
 	}

@@ -45,6 +45,10 @@ type manifest struct {
 	Source  string `json:"source"`
 	Triples int    `json:"triples"`
 	Shards  int    `json:"shards"`
+	// ANNNodes is the persisted HNSW graph's node count (0 = no graph;
+	// index.bin is then the v1 container, byte-identical with pre-ANN
+	// checkpoints).
+	ANNNodes int `json:"ann_nodes,omitempty"`
 }
 
 // checkpointDirName renders the final directory name for an epoch; the
@@ -69,7 +73,7 @@ func parseCheckpointEpoch(name string) (uint64, bool) {
 // writeCheckpoint persists one consistent snapshot: the triples and the
 // index segments exactly as published, plus a manifest. Returns the final
 // directory path.
-func writeCheckpoint(dir string, epoch uint64, source kg.Source, triples []kg.Triple, shards []*vecstore.Index) (string, error) {
+func writeCheckpoint(dir string, epoch uint64, source kg.Source, triples []kg.Triple, shards []*vecstore.Index, ann *vecstore.HNSW) (string, error) {
 	final := filepath.Join(dir, checkpointDirName(epoch))
 	tmp := final + ".tmp"
 	if err := os.RemoveAll(tmp); err != nil {
@@ -102,7 +106,7 @@ func writeCheckpoint(dir string, epoch uint64, source kg.Source, triples []kg.Tr
 		return "", err
 	}
 	if err := writeFile(indexName, func(f *os.File) error {
-		_, err := vecstore.WriteShards(f, shards)
+		_, err := vecstore.WriteShardsHNSW(f, shards, ann)
 		return err
 	}); err != nil {
 		return "", err
@@ -113,6 +117,9 @@ func writeCheckpoint(dir string, epoch uint64, source kg.Source, triples []kg.Tr
 		Source:  source.String(),
 		Triples: len(triples),
 		Shards:  len(shards),
+	}
+	if ann != nil {
+		m.ANNNodes = ann.Len()
 	}
 	if err := writeFile(manifestName, func(f *os.File) error {
 		return json.NewEncoder(f).Encode(m)
@@ -140,6 +147,9 @@ type loadedCheckpoint struct {
 	epoch  uint64
 	store  *kg.Store
 	shards []*vecstore.Index
+	// ann is the persisted HNSW graph over the shard prefix, nil when
+	// the checkpoint was written without one.
+	ann *vecstore.HNSW
 }
 
 // loadCheckpoint reads and validates one checkpoint directory.
@@ -177,13 +187,20 @@ func loadCheckpoint(path string, enc *embed.Encoder) (*loadedCheckpoint, error) 
 	if err != nil {
 		return nil, fmt.Errorf("substrate: checkpoint index: %w", err)
 	}
-	shards, err := vecstore.ReadShards(xf, enc)
+	shards, ann, err := vecstore.ReadShardsHNSW(xf, enc)
 	xf.Close()
 	if err != nil {
 		return nil, fmt.Errorf("substrate: checkpoint index: %w", err)
 	}
 	if len(shards) != m.Shards {
 		return nil, fmt.Errorf("substrate: checkpoint holds %d shards, manifest says %d", len(shards), m.Shards)
+	}
+	annNodes := 0
+	if ann != nil {
+		annNodes = ann.Len()
+	}
+	if annNodes != m.ANNNodes {
+		return nil, fmt.Errorf("substrate: checkpoint graph covers %d triples, manifest says %d", annNodes, m.ANNNodes)
 	}
 	indexed := 0
 	for _, sh := range shards {
@@ -192,7 +209,7 @@ func loadCheckpoint(path string, enc *embed.Encoder) (*loadedCheckpoint, error) 
 	if indexed != store.Len() {
 		return nil, fmt.Errorf("substrate: checkpoint index covers %d triples, store holds %d", indexed, store.Len())
 	}
-	return &loadedCheckpoint{epoch: m.Epoch, store: store, shards: shards}, nil
+	return &loadedCheckpoint{epoch: m.Epoch, store: store, shards: shards, ann: ann}, nil
 }
 
 // loadNewestCheckpoint scans dir for checkpoint directories and returns

@@ -110,9 +110,25 @@ func Recover(enc *embed.Encoder, seed *kg.Store, cfg Config) (*Manager, error) {
 		m.recovery.CheckpointEpoch = cp.epoch
 		m.recovery.CheckpointTriples = cp.store.Len()
 		m.lastCheckpointEpoch.Store(cp.epoch)
+		if cfg.ANN.Enabled {
+			if cp.ann != nil {
+				// Reload: the persisted graph binds to a prefix of the
+				// checkpoint shards (checkpoints flatten base + delta, so
+				// former delta segments surface as uncovered tail shards
+				// that stay exact-scanned until the next compaction).
+				m.baseANN = cp.ann
+			} else {
+				// ANN newly enabled over an older checkpoint: build the
+				// graph at boot.
+				m.baseANN = vecstore.BuildHNSW(enc, cp.store.All(), cfg.ANN.hnswConfig())
+			}
+		}
 	} else {
 		m.base = seed
 		m.baseShards = vecstore.BuildShards(enc, seed.All(), cfg.ShardSize)
+		if cfg.ANN.Enabled {
+			m.baseANN = vecstore.BuildHNSW(enc, seed.All(), cfg.ANN.hnswConfig())
+		}
 	}
 	m.delta = kg.NewStore(m.base.Source())
 
@@ -249,6 +265,7 @@ func (m *Manager) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 	// and the segment list captured here are one consistent pair.
 	snap := m.cur.Load()
 	shards := append(append([]*vecstore.Index(nil), m.baseShards...), m.deltaSegs...)
+	ann := m.baseANN
 	m.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
@@ -259,7 +276,7 @@ func (m *Manager) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return CheckpointInfo{}, err
 	}
-	path, err := writeCheckpoint(m.dir, snap.Epoch, snap.Store.Source(), snap.Store.All(), shards)
+	path, err := writeCheckpoint(m.dir, snap.Epoch, snap.Store.Source(), snap.Store.All(), shards, ann)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}

@@ -74,6 +74,39 @@ type Config struct {
 	// zero value keeps the manager memory-only. Durable managers must be
 	// built with Recover, which replays persisted state at boot.
 	Durability Durability
+	// ANN configures approximate retrieval over the frozen base; the
+	// zero value keeps every search an exact scan.
+	ANN ANNConfig
+}
+
+// ANNConfig enables sublinear approximate retrieval: an HNSW graph is
+// built over the frozen base at boot and rebuilt by every compaction
+// (off the writer lock), while the hot delta stays exact-scan. The
+// snapshot then serves through a vecstore.Hybrid — graph over the base,
+// exact over the delta, merged per query — so the approximate/exact
+// split rides the existing snapshot lifecycle and epoch-scoped cache
+// invalidation unchanged.
+type ANNConfig struct {
+	// Enabled turns the ANN path on.
+	Enabled bool
+	// M, EfConstruction, EfSearch and Seed tune the graph; zero values
+	// use the vecstore defaults.
+	M              int
+	EfConstruction int
+	EfSearch       int
+	Seed           int64
+	// DisableExactFallback turns off the escape hatch that routes a
+	// query to the exact scan when the beam is narrower than its k.
+	DisableExactFallback bool
+}
+
+func (c ANNConfig) hnswConfig() vecstore.HNSWConfig {
+	return vecstore.HNSWConfig{
+		M:              c.M,
+		EfConstruction: c.EfConstruction,
+		EfSearch:       c.EfSearch,
+		Seed:           c.Seed,
+	}
 }
 
 // Snapshot is one immutable substrate version. Store and Index never
@@ -113,7 +146,12 @@ type Manager struct {
 	mu         sync.Mutex // guards the master state below
 	base       *kg.Store  // frozen
 	baseShards []*vecstore.Index
-	delta      *kg.Store // unfrozen, accumulating
+	// baseANN is the HNSW graph over a prefix of baseShards (usually all
+	// of them; after a mid-generation recovery it may cover fewer — the
+	// uncovered tail is exact-scanned until the next compaction). Nil
+	// when Config.ANN is disabled.
+	baseANN *vecstore.HNSW
+	delta   *kg.Store // unfrozen, accumulating
 	// deltaSegs are the delta's index segments, one per ingest batch
 	// (coalesced when they proliferate), so each publish encodes only the
 	// newly added triples instead of the whole accumulated delta.
@@ -124,6 +162,9 @@ type Manager struct {
 
 	ingests     atomic.Int64
 	compactions atomic.Int64
+	// annCounters survives snapshot recomposition: every publish wires
+	// the same counters into the new Hybrid view.
+	annCounters vecstore.ANNCounters
 
 	// Durability state: nil/zero for memory-only managers (see Recover).
 	durable bool
@@ -154,6 +195,9 @@ func NewManager(enc *embed.Encoder, base *kg.Store, cfg Config) *Manager {
 		baseShards: vecstore.BuildShards(enc, base.All(), cfg.ShardSize),
 		delta:      kg.NewStore(base.Source()),
 		epoch:      0,
+	}
+	if cfg.ANN.Enabled {
+		m.baseANN = vecstore.BuildHNSW(enc, base.All(), cfg.ANN.hnswConfig())
 	}
 	m.mu.Lock()
 	m.publishLocked()
@@ -375,10 +419,23 @@ func (m *Manager) publishLocked() *Snapshot {
 		store = newUnion(m.base, snapDelta)
 		shards = append(append([]*vecstore.Index(nil), m.baseShards...), m.deltaSegs...)
 	}
+	var index vecstore.Searcher
+	if m.baseANN != nil {
+		// Approximate over the graph-covered base prefix, exact over the
+		// uncovered tail and the hot delta, merged per query. The same
+		// counters carry across publishes.
+		index = vecstore.ComposeHybrid(m.enc, m.baseANN, shards, vecstore.HybridOptions{
+			EfSearch:             m.cfg.ANN.EfSearch,
+			DisableExactFallback: m.cfg.ANN.DisableExactFallback,
+			Counters:             &m.annCounters,
+		})
+	} else {
+		index = vecstore.Compose(m.enc, shards...)
+	}
 	snap := &Snapshot{
 		Epoch:        m.epoch,
 		Store:        store,
-		Index:        vecstore.Compose(m.enc, shards...),
+		Index:        index,
 		BaseTriples:  m.base.Len(),
 		DeltaTriples: m.delta.Len(),
 	}
@@ -422,6 +479,13 @@ func (m *Manager) Compact(ctx context.Context) (*Snapshot, error) {
 	newBase.AddAll(deltaPrefix)
 	newBase.Freeze()
 	newShards := vecstore.BuildShards(m.enc, newBase.All(), m.cfg.ShardSize)
+	var newANN *vecstore.HNSW
+	if m.cfg.ANN.Enabled {
+		// The graph build is the expensive part of an ANN compaction;
+		// like the re-shard above it runs here, outside the writer lock,
+		// so ingest stays live while the graph grows.
+		newANN = vecstore.BuildHNSW(m.enc, newBase.All(), m.cfg.ANN.hnswConfig())
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -435,6 +499,7 @@ func (m *Manager) Compact(ctx context.Context) (*Snapshot, error) {
 	newDelta.AddAll(tail)
 	m.base = newBase
 	m.baseShards = newShards
+	m.baseANN = newANN
 	m.delta = newDelta
 	m.deltaSegs = nil
 	if newDelta.Len() > 0 {
@@ -473,6 +538,10 @@ type Stats struct {
 	Shards       int    `json:"shards"`
 	Ingests      int64  `json:"ingests"`
 	Compactions  int64  `json:"compactions"`
+	// ANN describes the approximate index layer — graph size, levels,
+	// the beam in effect, and how traffic split between graph and exact
+	// fallback. Nil when Config.ANN is disabled.
+	ANN *vecstore.ANNInfo `json:"ann,omitempty"`
 	// Durability reports persistence counters; Enabled is false for
 	// memory-only managers.
 	Durability DurabilityStats `json:"durability"`
@@ -498,11 +567,13 @@ type DurabilityStats struct {
 // Stats summarises the live snapshot and the writer counters.
 func (m *Manager) Stats() Stats {
 	snap := m.cur.Load()
+	idx := snap.Index.Stats()
 	st := Stats{
 		Epoch:        snap.Epoch,
 		BaseTriples:  snap.BaseTriples,
 		DeltaTriples: snap.DeltaTriples,
-		Shards:       snap.Index.Stats().Shards,
+		Shards:       idx.Shards,
+		ANN:          idx.ANN,
 		Ingests:      m.ingests.Load(),
 		Compactions:  m.compactions.Load(),
 	}

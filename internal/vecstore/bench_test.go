@@ -1,0 +1,57 @@
+package vecstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+// BenchmarkTopKMerge measures the bounded k-way heap merge against the
+// shard fan-out's per-shard result lists: f sorted lists of k hits each,
+// merged down to k.
+func BenchmarkTopKMerge(b *testing.B) {
+	for _, shards := range []int{4, 16, 64} {
+		for _, k := range []int{10, 100} {
+			per := make([][]Hit, shards)
+			for s := range per {
+				per[s] = make([]Hit, k)
+				for i := range per[s] {
+					// Descending per list, interleaved across lists.
+					per[s][i] = Hit{Score: 1 - float64(i*shards+s)/float64(shards*k)}
+					per[s][i].Triple.Subject = fmt.Sprintf("s%d-%d", s, i)
+				}
+			}
+			b.Run(fmt.Sprintf("shards=%d/k=%d", shards, k), func(b *testing.B) {
+				for b.Loop() {
+					MergeTopK(per, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExactScan and BenchmarkHNSWSearch are the before/after pair
+// for sublinear retrieval: the same corpus and queries through the
+// brute-force sharded scan and through the graph.
+func BenchmarkExactScan(b *testing.B) {
+	enc := embed.NewEncoder()
+	triples := corpus(20000)
+	s := BuildSharded(enc, triples, 0)
+	qv := enc.Encode("Lake Superior 42 area")
+	b.ResetTimer()
+	for b.Loop() {
+		s.SearchVector(qv, 10)
+	}
+}
+
+func BenchmarkHNSWSearch(b *testing.B) {
+	enc := embed.NewEncoder()
+	triples := corpus(20000)
+	g := BuildHNSW(enc, triples, HNSWConfig{})
+	qv := enc.Encode("Lake Superior 42 area")
+	b.ResetTimer()
+	for b.Loop() {
+		g.SearchVector(qv, 10)
+	}
+}

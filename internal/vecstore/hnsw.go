@@ -1,0 +1,629 @@
+package vecstore
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+)
+
+// Default HNSW parameters. M=16 / efConstruction=128 is the standard
+// middle of the quality/build-cost curve from the HNSW paper;
+// efSearch=96 lands recall@10 comfortably above the CI floor (0.95) on
+// the 100k-scale corpora the recall harness exercises.
+const (
+	DefaultHNSWM              = 16
+	DefaultHNSWEfConstruction = 128
+	DefaultHNSWEfSearch       = 96
+	// DefaultHNSWSeed seeds the level RNG; construction is a pure
+	// function of (triples, config), so replay and CI artifacts stay
+	// byte-identical across runs and platforms.
+	DefaultHNSWSeed = 1
+
+	// maxHNSWLevel caps the exponentially-distributed node level; with
+	// mL = 1/ln(16) the probability of drawing a level this high is
+	// ~16^-32, so the cap is unreachable in practice and exists only to
+	// bound corrupted persisted graphs.
+	maxHNSWLevel = 32
+)
+
+// HNSWConfig tunes graph construction and search.
+type HNSWConfig struct {
+	// M is the max neighbors per node on layers above 0 (layer 0 keeps
+	// up to 2M). Higher M improves recall at more memory and build cost.
+	M int
+	// EfConstruction is the candidate beam width during insertion.
+	EfConstruction int
+	// EfSearch is the default candidate beam width during search; wider
+	// beams trade latency for recall. Search returns at most
+	// min(ef, k) results — callers that need a guaranteed k should keep
+	// ef >= k (the substrate's exact-fallback escape hatch enforces
+	// this in serving).
+	EfSearch int
+	// Seed drives the level RNG. Zero selects DefaultHNSWSeed, so the
+	// zero config is fully deterministic.
+	Seed int64
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 1 {
+		c.M = DefaultHNSWM
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = DefaultHNSWEfConstruction
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = DefaultHNSWEfSearch
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultHNSWSeed
+	}
+	return c
+}
+
+// HNSW is a hierarchical navigable small world graph over a frozen
+// triple set: an approximate Searcher whose per-query cost is
+// logarithmic in the corpus instead of the exact scan's linear cost.
+// Construction is deterministic — node levels come from a seeded RNG and
+// every traversal breaks similarity ties by node id — so the same
+// triples and config always produce the same graph, the property the
+// replay gate depends on. Like Index, an HNSW is immutable after build
+// and safe for concurrent searches.
+type HNSW struct {
+	enc     *embed.Encoder
+	cfg     HNSWConfig
+	triples []kg.Triple
+	vecs    []embed.Vector
+	// links[i][l] is node i's neighbor list on layer l; len(links[i])-1
+	// is the node's top layer.
+	links    [][][]int32
+	entry    int32
+	maxLevel int32
+}
+
+// BuildHNSW constructs the graph over the triples. The builder takes
+// ownership of the slice. Insertion order is the slice order and all
+// randomness comes from the seeded level RNG, so the build is a pure
+// function of (triples, cfg).
+func BuildHNSW(enc *embed.Encoder, triples []kg.Triple, cfg HNSWConfig) *HNSW {
+	cfg = cfg.withDefaults()
+	h := &HNSW{
+		enc:     enc,
+		cfg:     cfg,
+		triples: triples,
+		vecs:    make([]embed.Vector, len(triples)),
+		links:   make([][][]int32, len(triples)),
+		entry:   -1,
+	}
+	// Vector encoding is order-independent, so it parallelises freely;
+	// the graph inserts below stay sequential for determinism.
+	const shard = 2048
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(triples); lo += shard {
+		hi := min(lo+shard, len(triples))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				h.vecs[i] = enc.Encode(triples[i].Text())
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	// Draw every node level up front from the seeded RNG: the level
+	// sequence depends only on (seed, node count), never on timing.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mL := 1 / math.Log(float64(cfg.M))
+	visited := make([]uint64, (len(triples)+63)/64)
+	for i := range triples {
+		f := -math.Log(rng.Float64()) * mL // u==0 -> +Inf, clamped below
+		level := int32(maxHNSWLevel)
+		if f < maxHNSWLevel {
+			level = int32(f)
+		}
+		h.insert(int32(i), level, visited)
+	}
+	return h
+}
+
+// annCand is a candidate node during graph traversal.
+type annCand struct {
+	id  int32
+	sim float64
+}
+
+// candBetter is the deterministic traversal order: similarity
+// descending, ties broken by node id ascending.
+func candBetter(a, b annCand) bool {
+	if a.sim != b.sim {
+		return a.sim > b.sim
+	}
+	return a.id < b.id
+}
+
+// annMaxHeap pops the best (highest-similarity) candidate first.
+type annMaxHeap []annCand
+
+func (h annMaxHeap) Len() int           { return len(h) }
+func (h annMaxHeap) Less(i, j int) bool { return candBetter(h[i], h[j]) }
+func (h annMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *annMaxHeap) Push(x any)        { *h = append(*h, x.(annCand)) }
+func (h *annMaxHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// annMinHeap pops the worst candidate first — the eviction end of the
+// ef-bounded result set.
+type annMinHeap []annCand
+
+func (h annMinHeap) Len() int           { return len(h) }
+func (h annMinHeap) Less(i, j int) bool { return candBetter(h[j], h[i]) }
+func (h annMinHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *annMinHeap) Push(x any)        { *h = append(*h, x.(annCand)) }
+func (h *annMinHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// insert adds node i at the given level. visited is scratch shared
+// across inserts; searchLayer clears it before use.
+func (h *HNSW) insert(i, level int32, visited []uint64) {
+	h.links[i] = make([][]int32, level+1)
+	if h.entry < 0 {
+		h.entry, h.maxLevel = i, level
+		return
+	}
+	q := &h.vecs[i]
+	ep := annCand{id: h.entry, sim: embed.NormDot(q, &h.vecs[h.entry])}
+	for lc := h.maxLevel; lc > level; lc-- {
+		ep = h.greedy(q, ep, lc)
+	}
+	eps := []annCand{ep}
+	for lc := min(level, h.maxLevel); lc >= 0; lc-- {
+		w := h.searchLayer(q, eps, h.cfg.EfConstruction, lc, visited)
+		sel := h.selectNeighbors(w, h.cfg.M)
+		ids := make([]int32, len(sel))
+		for n, c := range sel {
+			ids[n] = c.id
+		}
+		h.links[i][lc] = ids
+		for _, c := range sel {
+			h.connect(c.id, i, lc)
+		}
+		eps = w
+	}
+	if level > h.maxLevel {
+		h.entry, h.maxLevel = i, level
+	}
+}
+
+// connect adds node i as a neighbor of n on layer lc, re-pruning n's
+// list with the diversity heuristic when it overflows the layer cap.
+func (h *HNSW) connect(n, i int32, lc int32) {
+	l := append(h.links[n][lc], i)
+	mmax := h.cfg.M
+	if lc == 0 {
+		mmax = 2 * h.cfg.M
+	}
+	if len(l) <= mmax {
+		h.links[n][lc] = l
+		return
+	}
+	nv := &h.vecs[n]
+	cands := make([]annCand, len(l))
+	for k, id := range l {
+		cands[k] = annCand{id: id, sim: embed.NormDot(nv, &h.vecs[id])}
+	}
+	sort.Slice(cands, func(a, b int) bool { return candBetter(cands[a], cands[b]) })
+	sel := h.selectNeighbors(cands, mmax)
+	ids := make([]int32, len(sel))
+	for k, c := range sel {
+		ids[k] = c.id
+	}
+	h.links[n][lc] = ids
+}
+
+// selectNeighbors is the HNSW diversity heuristic (Malkov alg. 4): walk
+// candidates best-first, keeping one only if it is closer to the query
+// than to every already-kept neighbor, then fill remaining slots with
+// the pruned candidates in order. cands must be sorted by candBetter.
+func (h *HNSW) selectNeighbors(cands []annCand, m int) []annCand {
+	if len(cands) <= m {
+		return cands
+	}
+	sel := make([]annCand, 0, m)
+	var pruned []annCand
+	for _, c := range cands {
+		if len(sel) == m {
+			break
+		}
+		cv := &h.vecs[c.id]
+		keep := true
+		for _, s := range sel {
+			if embed.NormDot(cv, &h.vecs[s.id]) > c.sim {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			sel = append(sel, c)
+		} else {
+			pruned = append(pruned, c)
+		}
+	}
+	for _, c := range pruned {
+		if len(sel) == m {
+			break
+		}
+		sel = append(sel, c)
+	}
+	return sel
+}
+
+// greedy walks layer lc from ep to the strict local similarity maximum.
+// Only strictly-better moves are taken, so the walk terminates and is
+// deterministic given the stored neighbor order.
+func (h *HNSW) greedy(q *embed.Vector, ep annCand, lc int32) annCand {
+	for {
+		improved := false
+		for _, n := range h.links[ep.id][lc] {
+			if sim := embed.NormDot(q, &h.vecs[n]); sim > ep.sim {
+				ep = annCand{id: n, sim: sim}
+				improved = true
+			}
+		}
+		if !improved {
+			return ep
+		}
+	}
+}
+
+// searchLayer is the ef-bounded best-first expansion on one layer,
+// returning up to ef candidates sorted by candBetter. visited is a
+// caller-provided bitset scratch, cleared here.
+func (h *HNSW) searchLayer(q *embed.Vector, eps []annCand, ef int, lc int32, visited []uint64) []annCand {
+	clear(visited)
+	cand := make(annMaxHeap, 0, ef)
+	res := make(annMinHeap, 0, ef+1)
+	for _, ep := range eps {
+		if visited[ep.id>>6]&(1<<(uint(ep.id)&63)) != 0 {
+			continue
+		}
+		visited[ep.id>>6] |= 1 << (uint(ep.id) & 63)
+		cand = append(cand, ep)
+		res = append(res, ep)
+	}
+	heap.Init(&cand)
+	heap.Init(&res)
+	for len(res) > ef {
+		heap.Pop(&res)
+	}
+	for len(cand) > 0 {
+		c := heap.Pop(&cand).(annCand)
+		if len(res) >= ef && candBetter(res[0], c) {
+			break
+		}
+		for _, n := range h.links[c.id][lc] {
+			if visited[n>>6]&(1<<(uint(n)&63)) != 0 {
+				continue
+			}
+			visited[n>>6] |= 1 << (uint(n) & 63)
+			nc := annCand{id: n, sim: embed.NormDot(q, &h.vecs[n])}
+			if len(res) < ef {
+				heap.Push(&res, nc)
+				heap.Push(&cand, nc)
+			} else if candBetter(nc, res[0]) {
+				res[0] = nc
+				heap.Fix(&res, 0)
+				heap.Push(&cand, nc)
+			}
+		}
+	}
+	out := []annCand(res)
+	sort.Slice(out, func(a, b int) bool { return candBetter(out[a], out[b]) })
+	return out
+}
+
+// Len returns the number of indexed triples.
+func (h *HNSW) Len() int { return len(h.triples) }
+
+// Encoder returns the encoder the graph was built with.
+func (h *HNSW) Encoder() *embed.Encoder { return h.enc }
+
+// Config returns the build/search parameters in effect.
+func (h *HNSW) Config() HNSWConfig { return h.cfg }
+
+// SetEfSearch overrides the default search beam width. It must be
+// called before the graph starts serving concurrent searches (the
+// substrate applies it at boot when reloading a persisted graph).
+func (h *HNSW) SetEfSearch(ef int) {
+	if ef > 0 {
+		h.cfg.EfSearch = ef
+	}
+}
+
+// Search returns the top-k triples most similar to the query text via
+// the graph, using the configured EfSearch beam.
+func (h *HNSW) Search(query string, k int) []Hit {
+	return h.SearchVectorEf(h.enc.Encode(query), k, h.cfg.EfSearch)
+}
+
+// SearchExact is the brute-force correctness reference: an exact scan
+// over the graph's own vectors, bypassing the graph entirely.
+func (h *HNSW) SearchExact(query string, k int) []Hit {
+	return h.exactVec(h.enc.Encode(query), k)
+}
+
+// SearchVector searches with a pre-encoded vector using the configured
+// EfSearch beam.
+func (h *HNSW) SearchVector(qv embed.Vector, k int) []Hit {
+	return h.SearchVectorEf(qv, k, h.cfg.EfSearch)
+}
+
+// SearchPreEncoded is Search with the query's embedding supplied. The
+// graph path is purely geometric, so unlike Index the query text takes
+// no part in candidate selection.
+func (h *HNSW) SearchPreEncoded(query string, qv embed.Vector, k int) []Hit {
+	return h.SearchVectorEf(qv, k, h.cfg.EfSearch)
+}
+
+// SearchVectorEf is SearchVector with an explicit beam width, the hook
+// the recall harness uses to sweep ef without rebuilding. It returns at
+// most min(ef, k) hits: a beam narrower than k cannot fill k slots, the
+// degradation the substrate's exact-fallback escape hatch (and the CI
+// recall gate's doctored low-ef run) is built around.
+func (h *HNSW) SearchVectorEf(qv embed.Vector, k, ef int) []Hit {
+	if k <= 0 || len(h.triples) == 0 || qv.IsZero() {
+		return nil
+	}
+	if ef < 1 {
+		ef = 1
+	}
+	q := &qv
+	ep := annCand{id: h.entry, sim: embed.NormDot(q, &h.vecs[h.entry])}
+	for lc := h.maxLevel; lc > 0; lc-- {
+		ep = h.greedy(q, ep, lc)
+	}
+	visited := make([]uint64, (len(h.vecs)+63)/64)
+	w := h.searchLayer(q, []annCand{ep}, ef, 0, visited)
+	if len(w) > k {
+		w = w[:k]
+	}
+	out := make([]Hit, len(w))
+	for i, c := range w {
+		out[i] = Hit{Triple: h.triples[c.id], Score: c.sim}
+	}
+	// Graph order breaks ties by node id; re-break by surface form for
+	// exact parity with every other Searcher.
+	sort.SliceStable(out, func(i, j int) bool { return hitBefore(out[i], out[j]) })
+	return out
+}
+
+// exactVec is the linear reference scan over the graph's vectors.
+func (h *HNSW) exactVec(qv embed.Vector, k int) []Hit {
+	if k <= 0 || qv.IsZero() {
+		return nil
+	}
+	hh := make(hitHeap, 0, k+1)
+	for i := range h.vecs {
+		score := embed.NormDot(&qv, &h.vecs[i])
+		if len(hh) < k {
+			heap.Push(&hh, Hit{Triple: h.triples[i], Score: score})
+			continue
+		}
+		if score > hh[0].Score {
+			hh[0] = Hit{Triple: h.triples[i], Score: score}
+			heap.Fix(&hh, 0)
+		}
+	}
+	out := make([]Hit, len(hh))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&hh).(Hit)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return hitBefore(out[i], out[j]) })
+	return out
+}
+
+// BatchSearch runs Search for each query concurrently.
+func (h *HNSW) BatchSearch(queries []string, k int) [][]Hit {
+	return batchSearch(h, h.enc.Encode, queries, k)
+}
+
+// BatchSearchWith is BatchSearch with caller-supplied embeddings.
+func (h *HNSW) BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]Hit {
+	return batchSearch(h, encode, queries, k)
+}
+
+// Stats describes the graph for diagnostics.
+func (h *HNSW) Stats() Stats {
+	return Stats{
+		Triples: len(h.triples),
+		Dim:     embed.Dim,
+		Shards:  1,
+		ANN: &ANNInfo{
+			Nodes:          len(h.triples),
+			MaxLevel:       int(h.maxLevel),
+			M:              h.cfg.M,
+			EfConstruction: h.cfg.EfConstruction,
+			EfSearch:       h.cfg.EfSearch,
+		},
+	}
+}
+
+var _ Searcher = (*HNSW)(nil)
+
+// hnswMagic identifies the persisted graph record; the version byte
+// bumps on incompatible changes.
+var hnswMagic = [8]byte{'P', 'G', 'A', 'K', 'V', 'H', 'N', 1}
+
+// writeGraphTo serialises the graph structure only — config, entry
+// point and adjacency lists. Vectors and triples are not duplicated:
+// inside the shards container the graph always covers a prefix of the
+// exact segments, and the reader rebinds node i to combined triple i.
+func (h *HNSW) writeGraphTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		return count(bw.Write(buf[:]))
+	}
+	if err := count(bw.Write(hnswMagic[:])); err != nil {
+		return written, fmt.Errorf("vecstore: write hnsw: %w", err)
+	}
+	var head [28]byte
+	binary.LittleEndian.PutUint32(head[0:], uint32(len(h.triples)))
+	binary.LittleEndian.PutUint32(head[4:], uint32(embed.Dim))
+	binary.LittleEndian.PutUint32(head[8:], uint32(h.cfg.M))
+	binary.LittleEndian.PutUint32(head[12:], uint32(h.cfg.EfConstruction))
+	binary.LittleEndian.PutUint32(head[16:], uint32(h.cfg.EfSearch))
+	binary.LittleEndian.PutUint32(head[20:], uint32(h.entry))
+	binary.LittleEndian.PutUint32(head[24:], uint32(h.maxLevel))
+	if err := count(bw.Write(head[:])); err != nil {
+		return written, fmt.Errorf("vecstore: write hnsw header: %w", err)
+	}
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(h.cfg.Seed))
+	if err := count(bw.Write(seed[:])); err != nil {
+		return written, fmt.Errorf("vecstore: write hnsw seed: %w", err)
+	}
+	for i, layers := range h.links {
+		if err := writeU32(uint32(len(layers))); err != nil {
+			return written, fmt.Errorf("vecstore: write hnsw node %d: %w", i, err)
+		}
+		for _, ids := range layers {
+			if err := writeU32(uint32(len(ids))); err != nil {
+				return written, fmt.Errorf("vecstore: write hnsw node %d: %w", i, err)
+			}
+			for _, id := range ids {
+				if err := writeU32(uint32(id)); err != nil {
+					return written, fmt.Errorf("vecstore: write hnsw node %d: %w", i, err)
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("vecstore: flush hnsw: %w", err)
+	}
+	return written, nil
+}
+
+// readGraphFrom loads a writeGraphTo stream. The returned graph has no
+// triples, vectors or encoder bound yet — the container reader
+// materialises those from the exact segments the graph covers. Every
+// structural field is validated so any truncated or corrupted prefix
+// fails cleanly.
+func readGraphFrom(r io.Reader) (*HNSW, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("vecstore: read hnsw: %w", err)
+	}
+	if magic != hnswMagic {
+		return nil, fmt.Errorf("vecstore: bad hnsw magic %v", magic)
+	}
+	var head [28]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("vecstore: read hnsw header: %w", err)
+	}
+	nodes := binary.LittleEndian.Uint32(head[0:])
+	dim := binary.LittleEndian.Uint32(head[4:])
+	if dim != embed.Dim {
+		return nil, fmt.Errorf("vecstore: hnsw dimension mismatch: file has %d, build has %d", dim, embed.Dim)
+	}
+	h := &HNSW{
+		cfg: HNSWConfig{
+			M:              int(binary.LittleEndian.Uint32(head[8:])),
+			EfConstruction: int(binary.LittleEndian.Uint32(head[12:])),
+			EfSearch:       int(binary.LittleEndian.Uint32(head[16:])),
+		},
+		entry:    int32(binary.LittleEndian.Uint32(head[20:])),
+		maxLevel: int32(binary.LittleEndian.Uint32(head[24:])),
+	}
+	var seed [8]byte
+	if _, err := io.ReadFull(br, seed[:]); err != nil {
+		return nil, fmt.Errorf("vecstore: read hnsw seed: %w", err)
+	}
+	h.cfg.Seed = int64(binary.LittleEndian.Uint64(seed[:]))
+	if h.cfg.M <= 1 || h.cfg.M > 1<<16 {
+		return nil, fmt.Errorf("vecstore: hnsw M %d out of range", h.cfg.M)
+	}
+	if h.maxLevel < 0 || h.maxLevel > maxHNSWLevel {
+		return nil, fmt.Errorf("vecstore: hnsw max level %d out of range", h.maxLevel)
+	}
+	if nodes == 0 {
+		if h.entry != -1 {
+			return nil, fmt.Errorf("vecstore: empty hnsw with entry %d", h.entry)
+		}
+	} else if h.entry < 0 || h.entry >= int32(nodes) {
+		return nil, fmt.Errorf("vecstore: hnsw entry %d out of range", h.entry)
+	}
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	// Grow incrementally instead of trusting the node count up front,
+	// same discipline as ReadFrom: corruption fails at the first short
+	// read, never as a giant allocation.
+	const preallocCap = 1 << 16
+	h.links = make([][][]int32, 0, min(int(nodes), preallocCap))
+	for i := 0; i < int(nodes); i++ {
+		layerCount, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("vecstore: hnsw node %d: %w", i, err)
+		}
+		if layerCount == 0 || layerCount > maxHNSWLevel+1 {
+			return nil, fmt.Errorf("vecstore: hnsw node %d: layer count %d out of range", i, layerCount)
+		}
+		layers := make([][]int32, layerCount)
+		for l := range layers {
+			n, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("vecstore: hnsw node %d: %w", i, err)
+			}
+			if n > nodes {
+				return nil, fmt.Errorf("vecstore: hnsw node %d: neighbor count %d out of range", i, n)
+			}
+			ids := make([]int32, n)
+			for j := range ids {
+				id, err := readU32()
+				if err != nil {
+					return nil, fmt.Errorf("vecstore: hnsw node %d: %w", i, err)
+				}
+				if id >= nodes {
+					return nil, fmt.Errorf("vecstore: hnsw node %d: neighbor id %d out of range", i, id)
+				}
+				ids[j] = int32(id)
+			}
+			layers[l] = ids
+		}
+		h.links = append(h.links, layers)
+	}
+	// Structural pass: traversal indexes links[neighbor][layer], so every
+	// edge on layer l must point at a node that reaches layer l, and the
+	// entry point must reach maxLevel. Forward references make this
+	// impossible to check while streaming.
+	if nodes > 0 && len(h.links[h.entry]) <= int(h.maxLevel) {
+		return nil, fmt.Errorf("vecstore: hnsw entry %d below max level %d", h.entry, h.maxLevel)
+	}
+	for i, layers := range h.links {
+		for l, ids := range layers {
+			for _, id := range ids {
+				if len(h.links[id]) <= l {
+					return nil, fmt.Errorf("vecstore: hnsw node %d: neighbor %d missing layer %d", i, id, l)
+				}
+			}
+		}
+	}
+	return h, nil
+}

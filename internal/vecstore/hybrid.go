@@ -1,0 +1,204 @@
+package vecstore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/embed"
+)
+
+// ANNCounters tracks how a Hybrid routed queries. The substrate manager
+// owns one and threads it through successive snapshot publishes, so the
+// counts survive recomposition (every ingest publishes a new Hybrid).
+type ANNCounters struct {
+	// Searches counts queries answered through the graph.
+	Searches atomic.Int64
+	// Fallbacks counts queries answered by the exact scan instead —
+	// the ExactFallback escape hatch (beam narrower than k, or no
+	// usable graph).
+	Fallbacks atomic.Int64
+}
+
+// HybridOptions tunes a Hybrid view.
+type HybridOptions struct {
+	// EfSearch overrides the graph's configured beam width (0 keeps it).
+	EfSearch int
+	// DisableExactFallback turns the ef<k escape hatch off: narrow-beam
+	// queries go to the graph anyway and may return fewer than k hits.
+	// A missing or empty graph still falls back — exact is the only
+	// path that can answer at all.
+	DisableExactFallback bool
+	// Counters receives routing counts; nil disables counting.
+	Counters *ANNCounters
+}
+
+// Hybrid is the serving composite of the approximate/exact split: an
+// HNSW graph over the frozen prefix of a segment sequence, an exact
+// scan over the uncovered tail (late base segments after a mid-
+// generation recovery, plus the hot delta segments), and a brute-force
+// fallback over everything. Per-path top-k lists merge through
+// MergeTopK, so results keep the deterministic (score desc, surface
+// form asc) order every Searcher produces.
+type Hybrid struct {
+	enc  *embed.Encoder
+	ann  *HNSW
+	tail *Sharded // segments the graph does not cover
+	full *Sharded // every segment: exact reference and fallback path
+	opts HybridOptions
+}
+
+// ComposeHybrid assembles a Hybrid over the segments. ann must cover a
+// prefix of the concatenated segments ending exactly on a segment
+// boundary (the invariant the substrate maintains: the graph is built
+// or reloaded against whole frozen segments). If the boundary does not
+// align — a corrupted or mismatched graph — the graph is discarded and
+// the view degrades to pure exact scan rather than serving wrong
+// results. ann may be nil for an exact-only view with fallback
+// accounting.
+func ComposeHybrid(enc *embed.Encoder, ann *HNSW, segs []*Index, opts HybridOptions) *Hybrid {
+	hy := &Hybrid{enc: enc, ann: ann, full: Compose(enc, segs...), opts: opts}
+	if ann != nil && opts.EfSearch > 0 {
+		ann.SetEfSearch(opts.EfSearch)
+	}
+	covered := 0
+	if ann != nil {
+		covered = ann.Len()
+	}
+	sum, split := 0, 0
+	for split < len(segs) && sum < covered {
+		if segs[split] != nil {
+			sum += segs[split].Len()
+		}
+		split++
+	}
+	if sum != covered {
+		// Misaligned graph: refuse to trust it.
+		hy.ann = nil
+		split = 0
+	}
+	hy.tail = Compose(enc, segs[split:]...)
+	return hy
+}
+
+// ef returns the beam width in effect.
+func (hy *Hybrid) ef() int {
+	if hy.opts.EfSearch > 0 {
+		return hy.opts.EfSearch
+	}
+	if hy.ann != nil {
+		return hy.ann.Config().EfSearch
+	}
+	return DefaultHNSWEfSearch
+}
+
+// useFallback decides routing for one query: exact when there is no
+// usable graph, or when the beam cannot fill k slots and the escape
+// hatch is on.
+func (hy *Hybrid) useFallback(k int) bool {
+	if hy.ann == nil || hy.ann.Len() == 0 {
+		return true
+	}
+	return hy.ef() < k && !hy.opts.DisableExactFallback
+}
+
+// route runs one query through the graph+tail split or the exact
+// fallback, counting which path answered.
+func (hy *Hybrid) route(k int, approx func() []Hit, tail func() []Hit, exact func() []Hit) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	if hy.useFallback(k) {
+		if hy.opts.Counters != nil {
+			hy.opts.Counters.Fallbacks.Add(1)
+		}
+		return exact()
+	}
+	if hy.opts.Counters != nil {
+		hy.opts.Counters.Searches.Add(1)
+	}
+	annHits := approx()
+	var tailHits []Hit
+	if hy.tail.Len() > 0 {
+		tailHits = tail()
+	}
+	return MergeTopK([][]Hit{annHits, tailHits}, k)
+}
+
+// Len returns the number of indexed triples across graph and tail.
+func (hy *Hybrid) Len() int { return hy.full.Len() }
+
+// Encoder returns the encoder all segments were built with.
+func (hy *Hybrid) Encoder() *embed.Encoder { return hy.enc }
+
+// Search returns the top-k triples most similar to the query text.
+func (hy *Hybrid) Search(query string, k int) []Hit {
+	return hy.SearchPreEncoded(query, hy.enc.Encode(query), k)
+}
+
+// SearchExact is the brute-force reference over every segment,
+// bypassing the graph.
+func (hy *Hybrid) SearchExact(query string, k int) []Hit {
+	return hy.full.SearchExact(query, k)
+}
+
+// SearchVector searches with a pre-encoded vector.
+func (hy *Hybrid) SearchVector(qv embed.Vector, k int) []Hit {
+	return hy.route(k,
+		func() []Hit { return hy.ann.SearchVectorEf(qv, k, hy.ef()) },
+		func() []Hit { return hy.tail.SearchVector(qv, k) },
+		func() []Hit { return hy.full.SearchVector(qv, k) },
+	)
+}
+
+// SearchPreEncoded is Search with the query's embedding supplied; the
+// exact paths keep their token-filtered candidate selection.
+func (hy *Hybrid) SearchPreEncoded(query string, qv embed.Vector, k int) []Hit {
+	return hy.route(k,
+		func() []Hit { return hy.ann.SearchVectorEf(qv, k, hy.ef()) },
+		func() []Hit { return hy.tail.SearchPreEncoded(query, qv, k) },
+		func() []Hit { return hy.full.SearchPreEncoded(query, qv, k) },
+	)
+}
+
+// searchPreEncodedSequential keeps per-query work single-threaded for
+// batchSearch, which already parallelises across queries.
+func (hy *Hybrid) searchPreEncodedSequential(query string, qv embed.Vector, k int) []Hit {
+	return hy.route(k,
+		func() []Hit { return hy.ann.SearchVectorEf(qv, k, hy.ef()) },
+		func() []Hit { return hy.tail.searchPreEncodedSequential(query, qv, k) },
+		func() []Hit { return hy.full.searchPreEncodedSequential(query, qv, k) },
+	)
+}
+
+// BatchSearch runs Search for each query concurrently.
+func (hy *Hybrid) BatchSearch(queries []string, k int) [][]Hit {
+	return batchSearch(hy, hy.enc.Encode, queries, k)
+}
+
+// BatchSearchWith is BatchSearch with caller-supplied embeddings.
+func (hy *Hybrid) BatchSearchWith(encode func(string) embed.Vector, queries []string, k int) [][]Hit {
+	return batchSearch(hy, encode, queries, k)
+}
+
+// Stats aggregates segment statistics plus the ANN layer description.
+func (hy *Hybrid) Stats() Stats {
+	st := hy.full.Stats()
+	info := &ANNInfo{EfSearch: hy.ef()}
+	if hy.ann != nil {
+		g := hy.ann.Stats().ANN
+		info.Nodes = g.Nodes
+		info.MaxLevel = g.MaxLevel
+		info.M = g.M
+		info.EfConstruction = g.EfConstruction
+	}
+	if hy.opts.Counters != nil {
+		info.Searches = hy.opts.Counters.Searches.Load()
+		info.Fallbacks = hy.opts.Counters.Fallbacks.Load()
+	}
+	st.ANN = info
+	return st
+}
+
+var (
+	_ Searcher           = (*Hybrid)(nil)
+	_ sequentialSearcher = (*Hybrid)(nil)
+)

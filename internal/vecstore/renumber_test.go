@@ -1,0 +1,69 @@
+package vecstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/kg"
+)
+
+// TestReadShardsRenumbersDuplicateIDs: shards built independently (each
+// numbering its triples from zero, as separate stores do) carry clashing
+// IDs. ReadShards must renumber the combined sequence so every loaded
+// triple has a unique sequential ID, and searching the recomposed view
+// must still find triples from every shard.
+func TestReadShardsRenumbersDuplicateIDs(t *testing.T) {
+	enc := embed.NewEncoder()
+	mk := func(tag string, n int) []kg.Triple {
+		out := make([]kg.Triple, n)
+		for i := range out {
+			out[i] = kg.Triple{
+				Subject:  fmt.Sprintf("%s subject %d", tag, i),
+				Relation: "labelled",
+				Object:   tag,
+				ID:       i, // deliberate clash across shards
+			}
+		}
+		return out
+	}
+	shards := []*Index{
+		BuildTriples(enc, mk("alpha", 5)),
+		BuildTriples(enc, mk("beta", 7)),
+		BuildTriples(enc, mk("gamma", 3)),
+	}
+
+	var buf bytes.Buffer
+	if _, err := WriteShards(&buf, shards); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShards(&buf, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	next := 0
+	for si, sh := range loaded {
+		for _, tr := range sh.triples {
+			if seen[tr.ID] {
+				t.Fatalf("shard %d: duplicate triple ID %d after renumbering", si, tr.ID)
+			}
+			seen[tr.ID] = true
+			if tr.ID != next {
+				t.Fatalf("shard %d: triple ID %d, want sequential %d", si, tr.ID, next)
+			}
+			next++
+		}
+	}
+	if next != 15 {
+		t.Fatalf("loaded %d triples, want 15", next)
+	}
+	view := Compose(enc, loaded...)
+	for _, tag := range []string{"alpha", "beta", "gamma"} {
+		hits := view.Search(tag+" subject 2 labelled", 3)
+		if len(hits) == 0 || hits[0].Triple.Object != tag {
+			t.Fatalf("%s: top hit %v, want a %s triple", tag, hits, tag)
+		}
+	}
+}

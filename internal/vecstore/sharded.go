@@ -1,8 +1,8 @@
 package vecstore
 
 import (
+	"container/heap"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -111,7 +111,7 @@ func (s *Sharded) searchPreEncodedSequential(query string, qv embed.Vector, k in
 	for i, sh := range s.shards {
 		per[i] = sh.SearchPreEncoded(query, qv, k)
 	}
-	return mergeHits(per, k)
+	return MergeTopK(per, k)
 }
 
 // BatchSearch runs Search for each query concurrently.
@@ -147,7 +147,7 @@ func (s *Sharded) fanOut(k int, search func(*Index) []Hit) []Hit {
 		for i, sh := range s.shards {
 			per[i] = search(sh)
 		}
-		return mergeHits(per, k)
+		return MergeTopK(per, k)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -165,32 +165,71 @@ func (s *Sharded) fanOut(k int, search func(*Index) []Hit) []Hit {
 		}()
 	}
 	wg.Wait()
-	return mergeHits(per, k)
+	return MergeTopK(per, k)
 }
 
-// mergeHits flattens per-segment result lists and keeps the global top-k,
-// with the same deterministic (score desc, surface-form asc) order the
-// single-segment scan produces.
-func mergeHits(per [][]Hit, k int) []Hit {
-	n := 0
-	for _, hits := range per {
-		n += len(hits)
-	}
-	if n == 0 {
+// hitCursor walks one per-segment result list inside MergeTopK.
+type hitCursor struct {
+	hits []Hit
+	pos  int
+}
+
+// cursorHeap is a max-heap of cursors ordered by their current head hit,
+// so the heap root always holds the globally next result.
+type cursorHeap []hitCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	return hitBefore(h[i].hits[h[i].pos], h[j].hits[h[j].pos])
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(hitCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MergeTopK merges per-list results — each already in the deterministic
+// (score desc, surface-form asc) order every search path produces — into
+// the global top-k with a bounded k-way heap merge: k pops over a heap of
+// list heads instead of flattening and sorting every hit, so cost is
+// O(k log lists) after seeding rather than O(total log total). Sharded
+// fan-out and the ANN searcher's approximate-base/exact-delta assembly
+// both merge through here.
+func MergeTopK(per [][]Hit, k int) []Hit {
+	if k <= 0 {
 		return nil
 	}
-	out := make([]Hit, 0, n)
+	h := make(cursorHeap, 0, len(per))
 	for _, hits := range per {
-		out = append(out, hits...)
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		if len(hits) > 0 {
+			h = append(h, hitCursor{hits: hits})
 		}
-		return out[i].Triple.Key() < out[j].Triple.Key()
-	})
-	if len(out) > k {
-		out = out[:k]
+	}
+	switch len(h) {
+	case 0:
+		return nil
+	case 1:
+		hits := h[0].hits
+		if len(hits) > k {
+			hits = hits[:k]
+		}
+		return hits
+	}
+	heap.Init(&h)
+	out := make([]Hit, 0, k)
+	for len(h) > 0 && len(out) < k {
+		c := &h[0]
+		out = append(out, c.hits[c.pos])
+		c.pos++
+		if c.pos == len(c.hits) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
 	}
 	return out
 }

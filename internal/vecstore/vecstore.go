@@ -203,7 +203,9 @@ func (idx *Index) searchVec(qv embed.Vector, k int, subset []int32) []Hit {
 	}
 	h := make(hitHeap, 0, k+1)
 	consider := func(i int) {
-		score := qv.Dot(idx.vecs[i])
+		// NormDot, not Vector.Dot: the per-candidate kernel takes
+		// pointers (no 1 KiB array copies) and unrolls the accumulation.
+		score := embed.NormDot(&qv, &idx.vecs[i])
 		if len(h) < k {
 			heap.Push(&h, Hit{Triple: idx.triples[i], Score: score})
 			return
@@ -227,13 +229,17 @@ func (idx *Index) searchVec(qv embed.Vector, k int, subset []int32) []Hit {
 		out[i] = heap.Pop(&h).(Hit)
 	}
 	// Tie-break equal scores deterministically by triple surface form.
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Triple.Key() < out[j].Triple.Key()
-	})
+	sort.SliceStable(out, func(i, j int) bool { return hitBefore(out[i], out[j]) })
 	return out
+}
+
+// hitBefore is the deterministic result order every Searcher produces:
+// score descending, equal scores broken by triple surface form ascending.
+func hitBefore(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Triple.Key() < b.Triple.Key()
 }
 
 // BatchSearch runs Search for each query concurrently and returns results
@@ -296,6 +302,25 @@ type Stats struct {
 	Dim     int `json:"dim"`
 	// Shards is the number of fixed-size segments (1 for a plain Index).
 	Shards int `json:"shards"`
+	// ANN describes the approximate layer when one is composed in (an
+	// HNSW graph or a Hybrid wrapping one); nil for purely exact views.
+	ANN *ANNInfo `json:"ann,omitempty"`
+}
+
+// ANNInfo describes an approximate index layer: graph shape, the beam
+// width in effect, and — on serving composites — how traffic split
+// between the graph and the exact fallback, so loadgen runs can
+// attribute latency wins to the index.
+type ANNInfo struct {
+	// Nodes is the graph size: how many triples the graph covers (the
+	// remainder of the corpus, if any, is exact-scanned and merged).
+	Nodes          int   `json:"nodes"`
+	MaxLevel       int   `json:"max_level"`
+	M              int   `json:"m"`
+	EfConstruction int   `json:"ef_construction"`
+	EfSearch       int   `json:"ef_search"`
+	Searches       int64 `json:"searches"`
+	Fallbacks      int64 `json:"fallbacks"`
 }
 
 // Stats returns index statistics.
