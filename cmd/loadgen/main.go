@@ -16,6 +16,7 @@
 //	        [-n 200]                       closed loop (default)
 //	        [-rate 50 -duration 10s]       open loop
 //	        [-questions 64] [-timeout 30s] [-out BENCH_load.json]
+//	        [-target-lb]                   target is a pgakvlb router
 //
 // The question pool regenerates the server's deterministic synthetic
 // world from the same -seed and -quick scale and samples its dataset
@@ -25,6 +26,12 @@
 // snapshot and whose load section is the client-side account (accepted
 // vs refused latency kept separate). Committed under testdata/trajectory/
 // these artifacts chart how serving behaviour moves across PRs.
+//
+// Against a replicated topology, point -url at the pgakvlb router and
+// set -target-lb: every accepted response is additionally bucketed by
+// its X-Served-By header, so the artifact's load section carries one
+// latency population per backing node — primary fallbacks and each
+// replica separately — instead of one blended distribution.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -59,6 +67,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	out := flag.String("out", "", "write the run as a BENCH perf-trajectory artifact to this path")
 	quick := flag.Bool("quick", false, "build the question pool at the quick world scale (match the server's -quick flag) and mark the artifact accordingly")
+	targetLB := flag.Bool("target-lb", false, "the target is a pgakvlb router: split the accepted-latency account by the X-Served-By node each response was proxied to")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,7 +77,7 @@ func main() {
 		url: *url, method: *method, model: *model, kg: *kgSource,
 		clients: *clients, identities: *identities, zipfS: *zipfS, seed: *seed,
 		n: *n, rate: *rate, duration: *duration, nQuestions: *nQuestions,
-		timeout: *timeout, out: *out, quick: *quick,
+		timeout: *timeout, out: *out, quick: *quick, targetLB: *targetLB,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -87,6 +96,7 @@ type config struct {
 	timeout                time.Duration
 	out                    string
 	quick                  bool
+	targetLB               bool
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -95,19 +105,20 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	res, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:    cfg.url,
-		Method:     cfg.method,
-		Model:      cfg.model,
-		KG:         cfg.kg,
-		Questions:  questions,
-		ZipfS:      cfg.zipfS,
-		Clients:    cfg.clients,
-		Identities: cfg.identities,
-		Requests:   cfg.n,
-		RatePerSec: cfg.rate,
-		Duration:   cfg.duration,
-		Timeout:    cfg.timeout,
-		Seed:       cfg.seed,
+		BaseURL:     cfg.url,
+		Method:      cfg.method,
+		Model:       cfg.model,
+		KG:          cfg.kg,
+		Questions:   questions,
+		ZipfS:       cfg.zipfS,
+		Clients:     cfg.clients,
+		Identities:  cfg.identities,
+		Requests:    cfg.n,
+		RatePerSec:  cfg.rate,
+		Duration:    cfg.duration,
+		Timeout:     cfg.timeout,
+		Seed:        cfg.seed,
+		SplitByNode: cfg.targetLB,
 	})
 	if err != nil {
 		return err
@@ -120,6 +131,18 @@ func run(ctx context.Context, cfg config) error {
 	if res.Refused.Count > 0 {
 		fmt.Printf("refused:  n=%d p50=%.1fms p95=%.1fms p99=%.1fms\n",
 			res.Refused.Count, res.Refused.P50MS, res.Refused.P95MS, res.Refused.P99MS)
+	}
+	if len(res.Nodes) > 0 {
+		nodes := make([]string, 0, len(res.Nodes))
+		for node := range res.Nodes {
+			nodes = append(nodes, node)
+		}
+		sort.Strings(nodes)
+		for _, node := range nodes {
+			ns := res.Nodes[node]
+			fmt.Printf("node %s: n=%d cache_hits=%d p50=%.1fms p95=%.1fms p99=%.1fms\n",
+				node, ns.OK, ns.CacheHits, ns.Latency.P50MS, ns.Latency.P95MS, ns.Latency.P99MS)
+		}
 	}
 
 	if cfg.out == "" {
@@ -144,6 +167,13 @@ func run(ctx context.Context, cfg config) error {
 
 // perfLoad converts the client-side result into the artifact section.
 func perfLoad(res loadgen.Result) bench.PerfLoad {
+	var nodes map[string]bench.PerfLoadNode
+	if len(res.Nodes) > 0 {
+		nodes = make(map[string]bench.PerfLoadNode, len(res.Nodes))
+		for node, ns := range res.Nodes {
+			nodes[node] = bench.PerfLoadNode{OK: ns.OK, CacheHits: ns.CacheHits, Latency: perfLatency(ns.Latency)}
+		}
+	}
 	return bench.PerfLoad{
 		Mode:        res.Mode,
 		Clients:     res.Clients,
@@ -157,6 +187,7 @@ func perfLoad(res loadgen.Result) bench.PerfLoad {
 		AchievedRPS: res.AchievedRPS(),
 		Accepted:    perfLatency(res.Accepted),
 		Refused:     perfLatency(res.Refused),
+		Nodes:       nodes,
 	}
 }
 

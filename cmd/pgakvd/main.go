@@ -86,6 +86,20 @@
 // checkpoint, then WAL tail replay, resuming at a non-regressed epoch so
 // epoch-scoped cache keys stay correct across restarts. See
 // docs/operations.md for the recovery runbook.
+//
+// Replication: every durable server exposes /v1/repl/info,
+// /v1/repl/bootstrap (tar of the newest checkpoint) and /v1/repl/stream
+// (the WAL record chain from a requested epoch, then live appends).
+// Starting with -replica-of http://primary:8080 (requires -data-dir)
+// makes this node a read replica: at boot it bootstraps any source
+// whose local state is behind the primary's checkpoint horizon, then
+// streams and applies WAL records through the normal ingest path at
+// exactly the primary's epochs — so the epoch in an answer means the
+// same content on every node. Replicas reject POST /v1/ingest with a
+// 307 to the primary and report applied/head epochs, lag and reconnect
+// counts under "replication" in /v1/metrics. cmd/pgakvlb load-balances
+// reads across replicas and forwards writes to the primary. See
+// docs/operations.md for the replication runbook.
 package main
 
 import (
@@ -96,11 +110,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/prompts"
+	"repro/internal/repl"
 	"repro/internal/serve"
 	"repro/internal/substrate"
 	"repro/internal/trace"
@@ -130,7 +146,13 @@ func main() {
 	hedgeBudget := flag.Duration("hedge-budget", 0, "retrieval tail-latency budget: a vector search exceeding it launches a hedged duplicate and the first result wins (0 = no hedging)")
 	ann := flag.Bool("ann", false, "serve vector retrieval through an HNSW graph over each substrate's compacted base (deltas stay exact-scan until the next compaction); off = exact scans only")
 	annEf := flag.Int("ann-ef", 0, "HNSW search beam width; wider = better recall, slower (0 = vecstore default; only meaningful with -ann)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of this primary base URL (e.g. http://host:8080): bootstrap from its checkpoints, stream and apply its WAL, redirect local ingests to it; requires -data-dir")
 	flag.Parse()
+
+	if *replicaOf != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "pgakvd: -replica-of requires -data-dir (replicas persist their own WAL and checkpoints)")
+		os.Exit(1)
+	}
 
 	fsyncPolicy, err := substrate.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -141,6 +163,7 @@ func main() {
 	sub := substrate.Config{
 		ShardSize:        *shardSize,
 		CompactThreshold: *compactThreshold,
+		Replica:          *replicaOf != "",
 		Durability: substrate.Durability{
 			Dir:                *dataDir,
 			Fsync:              fsyncPolicy,
@@ -156,13 +179,13 @@ func main() {
 		MaxInFlight: *maxInFlight,
 		MaxQueue:    *maxQueue,
 	}
-	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir, *promptDir, admission, *hedgeBudget); err != nil {
+	if err := run(*addr, *quick, *seed, *workers, *timeout, cache, sub, *llmConcurrency, *stageTimeout, *traceDir, *promptDir, admission, *hedgeBudget, *replicaOf); err != nil {
 		fmt.Fprintln(os.Stderr, "pgakvd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir, promptDir string, admission serve.AdmissionConfig, hedgeBudget time.Duration) error {
+func run(addr string, quick bool, seed int64, workers int, timeout time.Duration, cache serve.CacheConfig, sub substrate.Config, llmConcurrency int, stageTimeout time.Duration, traceDir, promptDir string, admission serve.AdmissionConfig, hedgeBudget time.Duration, replicaOf string) error {
 	cfg := bench.DefaultEnvConfig()
 	if quick {
 		cfg = bench.QuickEnvConfig()
@@ -193,6 +216,26 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 		fmt.Printf("tracing to %s (%d existing record(s), %d dropped on recovery)\n", stats.Path, stats.Records, stats.Dropped)
 	}
 
+	if replicaOf != "" {
+		// Pre-flight: a source whose local state is behind the primary's
+		// checkpoint horizon can never catch up over the WAL stream (the
+		// primary truncated the log at the checkpoint epoch), so fetch the
+		// checkpoint tarball now. Boot recovery below validates and loads
+		// it exactly like a locally written checkpoint.
+		bctx, bcancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer bcancel()
+		client := &http.Client{Timeout: 5 * time.Minute}
+		for _, src := range []string{"wikidata", "freebase"} {
+			res, err := repl.BootstrapIfBehind(bctx, client, replicaOf, src, filepath.Join(sub.Durability.Dir, src))
+			if err != nil {
+				return fmt.Errorf("replica bootstrap (%s): %w", src, err)
+			}
+			if res.Fetched {
+				fmt.Printf("replica bootstrap: fetched %s checkpoint at epoch %d from %s\n", src, res.Epoch, replicaOf)
+			}
+		}
+	}
+
 	start := time.Now()
 	env, err := bench.NewEnv(cfg)
 	if err != nil {
@@ -213,6 +256,31 @@ func run(addr string, quick bool, seed int64, workers int, timeout time.Duration
 	}
 
 	server := NewServer(env, timeout)
+	if sub.Durability.Enabled() {
+		// Every durable node serves the replication endpoints: replicas
+		// mirror the primary's record chain in their own WAL, so they can
+		// in turn bootstrap and feed further replicas (chained topologies).
+		mgrs := make(map[string]repl.Manager, len(env.Substrates))
+		for src, mgr := range env.Substrates {
+			mgrs[src.String()] = mgr
+		}
+		server.WithReplSource(repl.NewSource(mgrs, replicaOf != ""))
+	}
+	if replicaOf != "" {
+		actx, acancel := context.WithCancel(context.Background())
+		defer acancel()
+		var appliers []*repl.Applier
+		for src, mgr := range env.Substrates {
+			a, err := repl.NewApplier(repl.ApplierConfig{Primary: replicaOf, Source: src.String(), Manager: mgr})
+			if err != nil {
+				return err
+			}
+			appliers = append(appliers, a)
+			go a.Run(actx)
+		}
+		server.WithReplication(replicaOf, appliers)
+		fmt.Printf("replicating %d source(s) from %s\n", len(appliers), replicaOf)
+	}
 	if admission.Limiter.Rate > 0 || admission.MaxInFlight > 0 {
 		server.WithAdmission(serve.NewAdmission(admission))
 		fmt.Printf("admission control on: rate=%.1f/s burst=%d max-inflight=%d max-queue=%d\n",

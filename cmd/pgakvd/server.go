@@ -20,6 +20,7 @@ import (
 	"repro/internal/kg"
 	"repro/internal/llm"
 	"repro/internal/prompts"
+	"repro/internal/repl"
 	"repro/internal/serve"
 	"repro/internal/substrate"
 	"repro/internal/trace"
@@ -83,6 +84,14 @@ type Server struct {
 	// admit guards /v1/answer and /v1/batch with per-client rate limiting
 	// and queue-depth load shedding; nil admits everything.
 	admit *serve.Admission
+	// replicaOf is the primary's base URL when this node is a read
+	// replica; local ingests are redirected there.
+	replicaOf string
+	// appliers are the per-source stream-apply loops on a replica
+	// (surfaced in /v1/metrics).
+	appliers []*repl.Applier
+	// replSrc serves the /v1/repl/* endpoints on durable nodes.
+	replSrc *repl.Source
 }
 
 // NewServer wraps an assembled bench environment.
@@ -94,6 +103,21 @@ func NewServer(env *bench.Env, timeout time.Duration) *Server {
 // routes and returns the server for chaining. nil leaves admission off.
 func (s *Server) WithAdmission(a *serve.Admission) *Server {
 	s.admit = a
+	return s
+}
+
+// WithReplication marks this server a read replica of primary: local
+// ingests are rejected with a 307 to the primary, and the appliers'
+// stream books join /v1/metrics.
+func (s *Server) WithReplication(primary string, appliers []*repl.Applier) *Server {
+	s.replicaOf = primary
+	s.appliers = appliers
+	return s
+}
+
+// WithReplSource mounts the /v1/repl/* endpoints (durable nodes only).
+func (s *Server) WithReplSource(src *repl.Source) *Server {
+	s.replSrc = src
 	return s
 }
 
@@ -151,6 +175,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/snapshot/compact", s.handleCompact)
 	mux.HandleFunc("POST /v1/snapshot/checkpoint", s.handleCheckpoint)
+	if s.replSrc != nil {
+		s.replSrc.Mount(mux)
+	}
 	return mux
 }
 
@@ -292,6 +319,42 @@ type metricsResponse struct {
 	// the same fingerprint that scopes answer-cache keys, so a reload
 	// that changed it is immediately visible here.
 	Prompts promptsStatus `json:"prompts"`
+	// Replication reports this node's role and, on replicas, the
+	// per-source stream books (applied/head epochs, lag, reconnects);
+	// absent on memory-only nodes.
+	Replication *replicationWire `json:"replication,omitempty"`
+}
+
+// replicationWire is the /v1/metrics replication section.
+type replicationWire struct {
+	Role    string `json:"role"` // "primary" | "replica"
+	Primary string `json:"primary,omitempty"`
+	// Sources maps KG labels to applier books (replicas only).
+	Sources map[string]repl.ApplierStats `json:"sources,omitempty"`
+	// CaughtUp is true when every applier is connected with zero lag —
+	// the signal the chaos suite and CI gate on.
+	CaughtUp bool `json:"caught_up"`
+}
+
+// replicationStatus assembles the metrics section (nil when the node
+// has no replication role).
+func (s *Server) replicationStatus() *replicationWire {
+	if s.replicaOf != "" {
+		wire := &replicationWire{Role: "replica", Primary: s.replicaOf, Sources: map[string]repl.ApplierStats{}}
+		wire.CaughtUp = len(s.appliers) > 0
+		for _, a := range s.appliers {
+			st := a.Stats()
+			wire.Sources[st.Source] = st
+			if !st.Connected || st.LagRecords > 0 {
+				wire.CaughtUp = false
+			}
+		}
+		return wire
+	}
+	if s.replSrc != nil {
+		return &replicationWire{Role: "primary"}
+	}
+	return nil
 }
 
 // promptsStatus is the /v1/metrics prompt summary: active versions only
@@ -321,6 +384,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Fingerprint: s.env.Prompts.Fingerprint(),
 			Versions:    s.env.Prompts.View().Versions(),
 		},
+		Replication: s.replicationStatus(),
 	}
 	if resp.Methods == nil {
 		resp.Methods = []serve.MethodSnapshot{}
@@ -784,6 +848,17 @@ func (s *Server) substrateFor(source string) (*substrate.Manager, kg.Source, err
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.replicaOf != "" {
+		// Writes are single-home: a local ingest would fork the epoch
+		// chain. 307 preserves the method and body, so a client that
+		// follows redirects lands the same ingest on the primary.
+		w.Header().Set("Location", s.replicaOf+"/v1/ingest")
+		writeJSON(w, http.StatusTemporaryRedirect, errorResponse{
+			Error: "this node is a read replica; ingest on the primary at " + s.replicaOf,
+			Class: "replica",
+		})
+		return
+	}
 	var req ingestRequest
 	if !s.decodeBody(w, r, &req, false) {
 		return

@@ -1,0 +1,81 @@
+// Command pgakvlb is the replication-aware read load-balancer in front
+// of a pgakvd primary and its replicas.
+//
+// Usage:
+//
+//	pgakvlb -primary http://host:8080 \
+//	        -replicas http://host:8081,http://host:8082 \
+//	        [-addr :8090] [-max-lag 64] [-probe-interval 500ms]
+//
+// Reads (/v1/answer, /v1/batch, /v1/methods, /v1/prompts, /v1/traces*)
+// round-robin across replicas that are live (/healthz) and within
+// -max-lag records of the primary; writes (/v1/ingest, /v1/snapshot/*,
+// /v1/prompts/reload) and everything else forward to the primary.
+// Every proxied response carries X-Served-By with the backing node's
+// URL.
+//
+// Read-your-writes: a client that just ingested at epoch E sends its
+// next read with "X-Min-Epoch: E"; the router only routes it to a
+// replica whose last-probed epoch for every source is >= E, falling
+// back to the primary (always current) when none qualifies. Probed
+// epochs only ever increase, so the cached value is a lower bound —
+// the router can be conservative, never stale.
+//
+// GET /v1/lb/status reports the node table: health, per-source epochs,
+// lag, routed-read counts and primary fallbacks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/repl"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	primary := flag.String("primary", "", "primary pgakvd base URL (required)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs")
+	maxLag := flag.Uint64("max-lag", 64, "max records (= epochs) a replica may trail the primary and still take reads")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health/epoch probe cadence")
+	flag.Parse()
+
+	if *primary == "" {
+		fmt.Fprintln(os.Stderr, "pgakvlb: -primary is required")
+		os.Exit(1)
+	}
+	var replicaURLs []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicaURLs = append(replicaURLs, u)
+		}
+	}
+
+	router, err := repl.NewRouter(repl.RouterConfig{
+		Primary:       *primary,
+		Replicas:      replicaURLs,
+		MaxLag:        *maxLag,
+		ProbeInterval: *probeInterval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgakvlb:", err)
+		os.Exit(1)
+	}
+	defer router.Close()
+
+	fmt.Printf("routing reads across %d replica(s), writes to %s, max lag %d\n", len(replicaURLs), *primary, *maxLag)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           router,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "pgakvlb:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,254 @@
+// Package e2e drives the real binaries — pgakvd primaries, -replica-of
+// replicas and the pgakvlb router — as separate OS processes over real
+// sockets. These are the chaos and topology tests: kill -9, restart,
+// bootstrap, catch-up. Logic-level coverage lives in the package tests;
+// everything here exists to prove the composed system survives what the
+// package tests cannot simulate (a process dying mid-syscall).
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binaries builds pgakvd and pgakvlb once per test run and returns the
+// directory holding them.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := filepath.Abs("testbin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildDir = dir
+		for _, target := range []string{"./cmd/pgakvd", "./cmd/pgakvlb"} {
+			cmd := exec.Command("go", "build", "-o", dir+"/", target)
+			cmd.Dir = ".." // repo root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("go build %s: %v\n%s", target, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildDir
+}
+
+// freePort asks the kernel for an unused localhost port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// logBuffer collects a child process's combined output; safe for the
+// process's writer goroutine and the test goroutine to share.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// node is one running child process (pgakvd or pgakvlb).
+type node struct {
+	name string
+	url  string
+	cmd  *exec.Cmd
+	logs *logBuffer
+	done chan struct{} // closed when the process has been reaped
+}
+
+// startNode launches a binary and registers cleanup. The caller still
+// has to waitHealthy before using it.
+func startNode(t *testing.T, name, bin string, port int, args ...string) *node {
+	t.Helper()
+	n := &node{
+		name: name,
+		url:  fmt.Sprintf("http://127.0.0.1:%d", port),
+		logs: &logBuffer{},
+		done: make(chan struct{}),
+	}
+	args = append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", port)}, args...)
+	n.cmd = exec.Command(bin, args...)
+	n.cmd.Stdout = n.logs
+	n.cmd.Stderr = n.logs
+	if err := n.cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	go func() {
+		n.cmd.Wait()
+		close(n.done)
+	}()
+	t.Cleanup(func() {
+		n.kill9()
+		if t.Failed() {
+			t.Logf("--- %s output ---\n%s", n.name, n.logs.String())
+		}
+	})
+	return n
+}
+
+// kill9 delivers SIGKILL — the process gets no chance to flush, drain
+// or say goodbye — and waits for the kernel to reap it.
+func (n *node) kill9() {
+	if n.cmd.Process != nil {
+		n.cmd.Process.Kill()
+	}
+	select {
+	case <-n.done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+func waitHealthy(t *testing.T, n *node, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(n.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		select {
+		case <-n.done:
+			t.Fatalf("%s exited before becoming healthy:\n%s", n.name, n.logs.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	t.Fatalf("%s not healthy after %v:\n%s", n.name, timeout, n.logs.String())
+}
+
+func postJSON(t *testing.T, url string, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s\n%s", url, resp.Status, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, raw, err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) error {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// nodeMetrics is the slice of /v1/metrics these tests read.
+type nodeMetrics struct {
+	Substrates map[string]struct {
+		Epoch      uint64 `json:"epoch"`
+		Durability struct {
+			LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
+			Recovery            struct {
+				CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+				ReplayedRecords int    `json:"replayed_records"`
+			} `json:"recovery"`
+		} `json:"durability"`
+	} `json:"substrates"`
+	Replication *struct {
+		Role    string `json:"role"`
+		Primary string `json:"primary"`
+		Sources map[string]struct {
+			Connected        bool   `json:"connected"`
+			AppliedEpoch     uint64 `json:"applied_epoch"`
+			HeadEpoch        uint64 `json:"head_epoch"`
+			LagRecords       uint64 `json:"lag_records"`
+			RecordsApplied   uint64 `json:"records_applied"`
+			RecordsSkipped   uint64 `json:"records_skipped"`
+			Reconnects       uint64 `json:"reconnects"`
+			TruncatedSignals uint64 `json:"truncated_signals"`
+		} `json:"sources"`
+		CaughtUp bool `json:"caught_up"`
+	} `json:"replication"`
+}
+
+func metrics(t *testing.T, n *node) (nodeMetrics, error) {
+	t.Helper()
+	var m nodeMetrics
+	err := getJSON(t, n.url+"/v1/metrics", &m)
+	return m, err
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", timeout, what)
+}
+
+// canonicalAnswer fetches /v1/answer and returns the response with its
+// timing-dependent fields stripped and keys re-marshalled in sorted
+// order, so two nodes serving identical content produce byte-identical
+// strings.
+func canonicalAnswer(t *testing.T, n *node, question, method string) string {
+	t.Helper()
+	var m map[string]any
+	postJSON(t, n.url+"/v1/answer",
+		fmt.Sprintf(`{"question": %q, "method": %q}`, question, method), &m)
+	delete(m, "elapsed_ms")
+	delete(m, "cached")
+	raw, err := json.Marshal(m) // map keys marshal sorted
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package e2e
+
+// raceEnabled reports whether this test binary runs under the race
+// detector.
+const raceEnabled = false

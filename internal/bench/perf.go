@@ -81,6 +81,17 @@ type PerfLoad struct {
 	AchievedRPS float64         `json:"achieved_rps"`
 	Accepted    PerfLoadLatency `json:"accepted"`
 	Refused     PerfLoadLatency `json:"refused"`
+	// Nodes splits the accepted population by backing node when the run
+	// targeted a pgakvlb router (loadgen -target-lb): per-node counts and
+	// latency, keyed by the X-Served-By value. Absent for single-node runs.
+	Nodes map[string]PerfLoadNode `json:"nodes,omitempty"`
+}
+
+// PerfLoadNode is one backing node's share of a routed load run.
+type PerfLoadNode struct {
+	OK        int64           `json:"ok"`
+	CacheHits int64           `json:"cache_hits"`
+	Latency   PerfLoadLatency `json:"latency"`
 }
 
 // PerfLoadLatency is a client-observed latency distribution.

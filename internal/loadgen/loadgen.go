@@ -66,6 +66,11 @@ type Config struct {
 	// HTTPClient overrides the transport (tests inject the httptest
 	// client); nil uses a pooled default.
 	HTTPClient *http.Client
+	// SplitByNode additionally buckets accepted responses by the
+	// X-Served-By header — the node a pgakvlb router proxied each request
+	// to — so a replicated topology's latency populations can be compared
+	// per backing node. Responses without the header land under "origin".
+	SplitByNode bool
 }
 
 // Result is one run's client-side account.
@@ -87,6 +92,16 @@ type Result struct {
 	// Accepted.
 	Accepted LatencySummary `json:"accepted"`
 	Refused  LatencySummary `json:"refused"`
+	// Nodes splits the accepted population by the node that served each
+	// response (Config.SplitByNode); nil otherwise.
+	Nodes map[string]NodeSummary `json:"nodes,omitempty"`
+}
+
+// NodeSummary is one backing node's share of a routed run.
+type NodeSummary struct {
+	OK        int64          `json:"ok"`
+	CacheHits int64          `json:"cache_hits"`
+	Latency   LatencySummary `json:"latency"`
 }
 
 // AchievedRPS is the completed-request throughput.
@@ -196,6 +211,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Elapsed:   time.Since(start),
 		Accepted:  g.accepted.summary(),
 		Refused:   g.refused.summary(),
+		Nodes:     g.nodeSummaries(),
 	}
 	if cfg.RatePerSec > 0 {
 		res.Mode = "open"
@@ -214,6 +230,52 @@ type generator struct {
 	errors    atomic.Int64
 	accepted  sampleSet
 	refused   sampleSet
+
+	nodeMu sync.Mutex
+	nodes  map[string]*nodeAccount
+}
+
+// nodeAccount accumulates one backing node's accepted responses.
+type nodeAccount struct {
+	ok        int64
+	cacheHits int64
+	samples   sampleSet
+}
+
+// recordNode buckets one accepted response under the node that served
+// it (only called with SplitByNode on).
+func (g *generator) recordNode(node string, elapsed time.Duration, cacheHit bool) {
+	if node == "" {
+		node = "origin"
+	}
+	g.nodeMu.Lock()
+	if g.nodes == nil {
+		g.nodes = make(map[string]*nodeAccount)
+	}
+	acct := g.nodes[node]
+	if acct == nil {
+		acct = &nodeAccount{}
+		g.nodes[node] = acct
+	}
+	acct.ok++
+	if cacheHit {
+		acct.cacheHits++
+	}
+	g.nodeMu.Unlock()
+	acct.samples.add(elapsed)
+}
+
+func (g *generator) nodeSummaries() map[string]NodeSummary {
+	g.nodeMu.Lock()
+	defer g.nodeMu.Unlock()
+	if g.nodes == nil {
+		return nil
+	}
+	out := make(map[string]NodeSummary, len(g.nodes))
+	for node, acct := range g.nodes {
+		out[node] = NodeSummary{OK: acct.ok, CacheHits: acct.cacheHits, Latency: acct.samples.summary()}
+	}
+	return out
 }
 
 // runClosed keeps cfg.Clients workers each with one request outstanding
@@ -335,8 +397,12 @@ func (g *generator) send(ctx context.Context, w int, question string) {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		g.ok.Add(1)
 		g.accepted.add(elapsed)
-		if resp.Header.Get("X-Cache") == "hit" {
+		hit := resp.Header.Get("X-Cache") == "hit"
+		if hit {
 			g.cacheHits.Add(1)
+		}
+		if g.cfg.SplitByNode {
+			g.recordNode(resp.Header.Get("X-Served-By"), elapsed, hit)
 		}
 	default:
 		g.errors.Add(1)

@@ -1,0 +1,255 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNode simulates a pgakvd backend for router tests: /healthz,
+// /v1/repl/info with a controllable epoch, and /v1/answer echoing the
+// node's name and the epoch it held AT SERVE TIME — which is what a
+// stale read would expose.
+type fakeNode struct {
+	name    string
+	epoch   atomic.Uint64
+	healthy atomic.Bool
+	served  atomic.Uint64
+	srv     *httptest.Server
+}
+
+func newFakeNode(t *testing.T, name string, epoch uint64) *fakeNode {
+	t.Helper()
+	n := &fakeNode{name: name}
+	n.epoch.Store(epoch)
+	n.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/repl/info", func(w http.ResponseWriter, r *http.Request) {
+		if !n.healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		e := n.epoch.Load()
+		writeJSON(w, http.StatusOK, InfoResponse{Sources: map[string]SourceInfo{
+			"wikidata": {Epoch: e},
+			"freebase": {Epoch: e},
+		}})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		n.served.Add(1)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"node":  n.name,
+			"epoch": n.epoch.Load(),
+			"path":  r.URL.Path,
+		})
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+type fakeAnswer struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+	Path  string `json:"path"`
+}
+
+func newTestRouter(t *testing.T, primary *fakeNode, maxLag uint64, replicas ...*fakeNode) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, r := range replicas {
+		urls[i] = r.srv.URL
+	}
+	router, err := NewRouter(RouterConfig{
+		Primary:       primary.srv.URL,
+		Replicas:      urls,
+		MaxLag:        maxLag,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	srv := httptest.NewServer(router)
+	t.Cleanup(srv.Close)
+	return router, srv
+}
+
+func doRead(t *testing.T, url string, minEpoch uint64) (fakeAnswer, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/answer", strings.NewReader(`{"question":"q"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minEpoch > 0 {
+		req.Header.Set("X-Min-Epoch", fmt.Sprint(minEpoch))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read: %s", resp.Status)
+	}
+	var ans fakeAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		t.Fatal(err)
+	}
+	return ans, resp
+}
+
+// TestRouterReadYourWrites is the consistency property test: a client
+// ingests at epoch E and immediately reads with X-Min-Epoch: E, 100
+// times, while one replica stays artificially lagged. No read may ever
+// observe an epoch below its requirement, and the lagged replica must
+// never serve one of these reads.
+func TestRouterReadYourWrites(t *testing.T) {
+	primary := newFakeNode(t, "primary", 1)
+	follower := newFakeNode(t, "follower", 1) // tracks the primary
+	laggard := newFakeNode(t, "laggard", 1)   // frozen at epoch 1
+	_, srv := newTestRouter(t, primary, 1<<30, follower, laggard)
+	// MaxLag is huge on purpose: health must NOT be what saves us — the
+	// laggard stays fully routable for plain reads, and only the
+	// X-Min-Epoch check keeps required reads off it.
+
+	stale := 0
+	fromFollower := 0
+	for i := 0; i < 100; i++ {
+		// "Ingest": the primary moves to a new epoch E; the follower
+		// applies it quickly (often before the router's next probe, so
+		// the router's cached view genuinely lags the truth, exactly like
+		// production).
+		e := primary.epoch.Add(1)
+		follower.epoch.Store(e)
+		if i%5 == 0 {
+			// Give probes a chance to observe the follower sometimes, so
+			// both the replica path and the fallback path are exercised.
+			time.Sleep(15 * time.Millisecond)
+		}
+		ans, resp := doRead(t, srv.URL, e)
+		if ans.Epoch < e {
+			stale++
+			t.Errorf("read %d: required epoch %d, served epoch %d by %s", i, e, ans.Epoch, ans.Node)
+		}
+		if ans.Node == "laggard" {
+			t.Errorf("read %d: min-epoch read served by the lagged replica", i)
+		}
+		if ans.Node == "follower" {
+			fromFollower++
+		}
+		if got := resp.Header.Get("X-Served-By"); got == "" {
+			t.Errorf("read %d: response missing X-Served-By", i)
+		}
+	}
+	if stale != 0 {
+		t.Fatalf("%d stale reads out of 100", stale)
+	}
+	if fromFollower == 0 {
+		t.Fatal("no min-epoch read was ever served by the caught-up replica; the property was only tested against the primary fallback")
+	}
+	t.Logf("reads: %d from follower, %d primary fallbacks", fromFollower, 100-fromFollower)
+}
+
+// TestRouterPlainReadsAvoidLaggedReplica: without X-Min-Epoch the
+// MaxLag health threshold is what keeps far-behind replicas out of
+// rotation.
+func TestRouterPlainReadsAvoidLaggedReplica(t *testing.T) {
+	primary := newFakeNode(t, "primary", 100)
+	laggard := newFakeNode(t, "laggard", 10) // 90 behind
+	router, srv := newTestRouter(t, primary, 5, laggard)
+
+	waitFor(t, 5*time.Second, "probes to see both nodes", func() bool {
+		st := router.Status()
+		return st.Primary.Epochs["wikidata"] == 100 && len(st.Replicas) == 1 && st.Replicas[0].Epochs["wikidata"] == 10
+	})
+	for i := 0; i < 20; i++ {
+		ans, _ := doRead(t, srv.URL, 0)
+		if ans.Node != "primary" {
+			t.Fatalf("read %d routed to %s; the only replica is %d records behind MaxLag 5", i, ans.Node, 90)
+		}
+	}
+	st := router.Status()
+	if st.Replicas[0].LagByKG["wikidata"] != 90 {
+		t.Fatalf("status lag = %d, want 90", st.Replicas[0].LagByKG["wikidata"])
+	}
+}
+
+// TestRouterWritesGoToPrimary: ingests and snapshots never touch a
+// replica, however healthy.
+func TestRouterWritesGoToPrimary(t *testing.T) {
+	primary := newFakeNode(t, "primary", 5)
+	replica := newFakeNode(t, "replica", 5)
+	router, srv := newTestRouter(t, primary, 64, replica)
+	waitFor(t, 5*time.Second, "probe", func() bool { return router.Status().Replicas[0].Healthy })
+
+	for _, path := range []string{"/v1/ingest", "/v1/snapshot/compact", "/v1/snapshot/checkpoint", "/v1/prompts/reload"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ans fakeAnswer
+		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ans.Node != "primary" {
+			t.Fatalf("%s routed to %s, want primary", path, ans.Node)
+		}
+	}
+}
+
+// TestRouterFailsOverFromDeadReplica: a replica that stops answering
+// probes drops out of rotation; reads keep flowing.
+func TestRouterFailsOverFromDeadReplica(t *testing.T) {
+	primary := newFakeNode(t, "primary", 5)
+	replica := newFakeNode(t, "replica", 5)
+	router, srv := newTestRouter(t, primary, 64, replica)
+	waitFor(t, 5*time.Second, "replica healthy", func() bool { return router.Status().Replicas[0].Healthy })
+
+	replica.healthy.Store(false)
+	waitFor(t, 5*time.Second, "replica marked down", func() bool { return !router.Status().Replicas[0].Healthy })
+	for i := 0; i < 10; i++ {
+		ans, _ := doRead(t, srv.URL, 0)
+		if ans.Node != "primary" {
+			t.Fatalf("read routed to dead replica %s", ans.Node)
+		}
+	}
+	// Recovery: the replica comes back and rejoins rotation.
+	replica.healthy.Store(true)
+	waitFor(t, 5*time.Second, "replica healthy again", func() bool { return router.Status().Replicas[0].Healthy })
+	served := replica.served.Load()
+	waitFor(t, 5*time.Second, "replica serving again", func() bool {
+		doRead(t, srv.URL, 0)
+		return replica.served.Load() > served
+	})
+}
+
+// TestRouterRejectsBadMinEpoch: a malformed header is a 400, not a
+// silently dropped consistency requirement.
+func TestRouterRejectsBadMinEpoch(t *testing.T) {
+	primary := newFakeNode(t, "primary", 1)
+	_, srv := newTestRouter(t, primary, 64)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/answer", strings.NewReader(`{}`))
+	req.Header.Set("X-Min-Epoch", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad X-Min-Epoch: %s, want 400", resp.Status)
+	}
+}

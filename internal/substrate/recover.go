@@ -174,11 +174,26 @@ func Recover(enc *embed.Encoder, seed *kg.Store, cfg Config) (*Manager, error) {
 		// segments.
 		m.deltaSegs = []*vecstore.Index{vecstore.BuildTriples(enc, m.deltaTriplesLocked())}
 	}
-	// Resume past everything persisted: the publish below creates epoch
-	// lastEpoch+1, so no client ever observes an epoch it has seen before
-	// holding different content.
-	m.epoch = lastEpoch
-	m.publishLocked()
+	if cfg.Replica {
+		// A replica resumes at EXACTLY the largest persisted epoch: its
+		// epoch must track the primary's record chain one-for-one, and the
+		// chain extends from precisely this point. A fresh replica (nothing
+		// persisted) publishes the seed at epoch 1 — the primary's epoch 1
+		// is its own boot publish of the same deterministic seed, so the
+		// contents agree and streaming resumes from 1.
+		if lastEpoch == 0 {
+			lastEpoch = 1
+		}
+		m.epoch = lastEpoch
+		m.republishLocked()
+	} else {
+		// Resume past everything persisted: the publish below creates epoch
+		// lastEpoch+1, so no client ever observes an epoch it has seen
+		// before holding different content.
+		m.epoch = lastEpoch
+		m.publishLocked()
+	}
+	bootEpoch := m.epoch
 	compactNeeded := cfg.CompactThreshold > 0 && m.delta.Len() >= m.cfg.CompactThreshold
 	m.mu.Unlock()
 
@@ -187,6 +202,17 @@ func Recover(enc *embed.Encoder, seed *kg.Store, cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m.wal = w
+	if !cfg.Replica {
+		// Log the boot publish as a zero-triple epoch marker so the WAL
+		// records EVERY epoch since the chain base: replicas shipping the
+		// log see a contiguous chain across primary restarts, and the
+		// epoch a recovery resumed at can never regress even if the
+		// process dies before its first ingest. (Replicas skip this: their
+		// local WAL holds only records shipped from the primary.)
+		if err := w.append(bootEpoch, nil); err != nil {
+			return nil, fmt.Errorf("substrate: boot epoch marker: %w", err)
+		}
+	}
 
 	if cfg.Durability.Fsync == SyncInterval {
 		every := cfg.Durability.SyncEvery
@@ -312,6 +338,7 @@ func (m *Manager) Recovery() RecoveryInfo { return m.recovery }
 // more than once; the manager must not ingest after Close.
 func (m *Manager) Close() error {
 	m.closeOnce.Do(func() {
+		m.closeSubs()
 		if m.stopCkpt != nil {
 			close(m.stopCkpt)
 			<-m.ckptDone

@@ -77,6 +77,13 @@ type Config struct {
 	// ANN configures approximate retrieval over the frozen base; the
 	// zero value keeps every search an exact scan.
 	ANN ANNConfig
+	// Replica puts the manager in WAL-applying mode: recovery resumes at
+	// exactly the largest persisted epoch (never +1, so the applied chain
+	// can extend it seamlessly), compactions are epoch-frozen (the fold
+	// changes layout, not content, so the epoch — and with it every
+	// epoch-scoped cache key — stays put), and ApplyReplicated becomes
+	// the only legal writer. Local Ingest must not be called.
+	Replica bool
 }
 
 // ANNConfig enables sublinear approximate retrieval: an HNSW graph is
@@ -175,6 +182,13 @@ type Manager struct {
 	checkpoints         atomic.Int64
 	lastCheckpointEpoch atomic.Uint64
 
+	// Live WAL-shipping subscribers (repl.go); replMu is ordered after
+	// m.mu and the wal mutex — notifyRepl is only called with neither
+	// held or with m.mu held, never from inside the wal lock.
+	replMu    sync.Mutex
+	replSubs  map[int]*WALSub
+	replSubID int
+
 	closeOnce sync.Once
 	closeErr  error
 	stopFlush chan struct{}
@@ -255,6 +269,12 @@ type IngestResult struct {
 // policy): a failed append rejects the ingest with nothing to roll
 // back, and an acknowledged ingest survives a restart.
 func (m *Manager) Ingest(triples []kg.Triple) (IngestResult, error) {
+	if m.cfg.Replica {
+		// Replicas have exactly one writer — the primary's shipped WAL. A
+		// local ingest would fork the epoch chain: the same epoch number
+		// would mean different content here and on the primary.
+		return IngestResult{}, errors.New("substrate: manager is a replica; ingest on the primary")
+	}
 	for i, t := range triples {
 		if t.Subject == "" || t.Relation == "" || t.Object == "" {
 			return IngestResult{}, fmt.Errorf("substrate: triple %d is missing a field: %v", i, t)
@@ -288,6 +308,11 @@ func (m *Manager) Ingest(triples []kg.Triple) (IngestResult, error) {
 		m.ingests.Add(1)
 		m.coalesceDeltaSegsLocked()
 		snap = m.publishLocked()
+		if m.wal != nil {
+			// The snapshot is live, so a replica that applies this record
+			// and answers at snap.Epoch serves exactly what we serve.
+			m.notifyRepl(snap.Epoch, fresh)
+		}
 		if m.cfg.CompactThreshold > 0 && m.delta.Len() >= m.cfg.CompactThreshold {
 			go func() {
 				// Best-effort: a compaction already running will pick the
@@ -410,6 +435,15 @@ func (m *Manager) deltaTriplesLocked() []kg.Triple {
 // copy aside, which is map inserts, not encoding).
 func (m *Manager) publishLocked() *Snapshot {
 	m.epoch++
+	return m.republishLocked()
+}
+
+// republishLocked builds and swaps in a snapshot of the current master
+// state at the CURRENT epoch, without bumping it. Only correct when the
+// content at this epoch is unchanged — the replica-mode compaction fold,
+// which rearranges base/delta layout but serves the same triple set, so
+// epoch-scoped cache keys stay valid. Caller holds m.mu.
+func (m *Manager) republishLocked() *Snapshot {
 	var store kg.Reader = m.base
 	shards := m.baseShards
 	if m.delta.Len() > 0 {
@@ -508,14 +542,26 @@ func (m *Manager) Compact(ctx context.Context) (*Snapshot, error) {
 		m.deltaSegs = []*vecstore.Index{vecstore.BuildTriples(m.enc, m.deltaTriplesLocked())}
 	}
 	m.compactions.Add(1)
-	snap := m.publishLocked()
-	if m.wal != nil {
-		// A zero-triple epoch marker: the WAL then records every publish,
-		// so a recovery that replays the log never resumes at an epoch
-		// below the one clients last saw — even if the checkpoint below
-		// fails or the process dies before it lands.
-		if err := m.wal.append(snap.Epoch, nil); err != nil {
-			log.Printf("substrate[%s]: compaction epoch marker: %v", src, err)
+	var snap *Snapshot
+	if m.cfg.Replica {
+		// Epoch-frozen: the fold rearranged base/delta layout but serves
+		// the same triple set, and the replica's epoch must keep meaning
+		// exactly what the primary's does. No marker is logged either —
+		// the local WAL holds only records shipped from the primary.
+		snap = m.republishLocked()
+	} else {
+		snap = m.publishLocked()
+		if m.wal != nil {
+			// A zero-triple epoch marker: the WAL then records every publish,
+			// so a recovery that replays the log never resumes at an epoch
+			// below the one clients last saw — even if the checkpoint below
+			// fails or the process dies before it lands — and replicas see a
+			// contiguous record chain across compactions.
+			if err := m.wal.append(snap.Epoch, nil); err != nil {
+				log.Printf("substrate[%s]: compaction epoch marker: %v", src, err)
+			} else {
+				m.notifyRepl(snap.Epoch, nil)
+			}
 		}
 	}
 	m.mu.Unlock()
